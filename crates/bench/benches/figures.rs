@@ -1,0 +1,115 @@
+//! Criterion harness over the figure kernels: one group per table/figure,
+//! measuring the real (wall-clock) cost of regenerating each experiment's
+//! core computation at reduced scale. The authoritative reproduction
+//! output comes from the `fig*` binaries; these benches guard against
+//! engine-performance regressions in the paths those binaries exercise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmem_compress::{synth, PageCodec};
+use dmem_rdd::job::{run_iterative_job, DatasetSize, JobSpec, SpillTier};
+use dmem_sim::{DetRng, SimDuration};
+use dmem_swap::{
+    build_system, run_kv_throughput, run_ml_workload, SwapScale, SystemKind,
+};
+use dmem_types::CompressionMode;
+
+fn small_scale() -> SwapScale {
+    let mut scale = SwapScale::small();
+    scale.working_set_pages = 256;
+    scale
+}
+
+fn bench_fig3_kernel(c: &mut Criterion) {
+    // Fig. 3 kernel: compress a page population and account class ratios.
+    let mut rng = DetRng::new(5);
+    let pages: Vec<Vec<u8>> = (0..64)
+        .map(|_| synth::page_mixture(2.8, 0.9, synth::DEFAULT_ZERO_FRACTION, &mut rng))
+        .collect();
+    let codec = PageCodec::new(CompressionMode::FourGranularity);
+    c.bench_function("fig3_aggregate_ratio_64pages", |b| {
+        b.iter(|| codec.aggregate_ratio(pages.iter().map(Vec::as_slice)))
+    });
+}
+
+fn bench_fig6_kernel(c: &mut Criterion) {
+    // Fig. 6 kernel: a swap-in dominated sweep on FastSwap.
+    let scale = small_scale();
+    c.bench_function("fig6_recovery_sweep_fastswap", |b| {
+        b.iter(|| {
+            let mut engine = build_system(SystemKind::fastswap_default(), &scale).unwrap();
+            engine.preload_swapped(scale.working_set_pages).unwrap();
+            for pfn in 0..scale.working_set_pages {
+                engine.access(pfn, false).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_fig7_kernel(c: &mut Criterion) {
+    // Fig. 7 kernel: one ML completion-time run per system.
+    let scale = small_scale();
+    let mut group = c.benchmark_group("fig7_kernel");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("fastswap", SystemKind::fastswap_default()),
+        ("infiniswap", SystemKind::Infiniswap),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_ml_workload(kind, "KMeans", &scale).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_kernel(c: &mut Criterion) {
+    let scale = small_scale();
+    let mut group = c.benchmark_group("fig8_kernel");
+    group.sample_size(10);
+    group.bench_function("memcached_fs_sm_1k_ops", |b| {
+        b.iter(|| {
+            run_kv_throughput(SystemKind::fastswap_default(), "Memcached", &scale, 1_000)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig10_kernel(c: &mut Criterion) {
+    let spec = JobSpec {
+        base_records: 600, // reduced from the figure's 6000 for wall-time
+        ..JobSpec::named("KMeans").unwrap()
+    };
+    let mut group = c.benchmark_group("fig10_kernel");
+    group.sample_size(10);
+    group.bench_function("kmeans_medium_dahi", |b| {
+        b.iter(|| run_iterative_job(&spec, DatasetSize::Medium, SpillTier::Dahi).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fig9_kernel(c: &mut Criterion) {
+    use dmem_swap::run_kv_timeline;
+    let scale = small_scale();
+    let mut group = c.benchmark_group("fig9_kernel");
+    group.sample_size(10);
+    group.bench_function("memcached_recovery_timeline", |b| {
+        b.iter(|| {
+            run_kv_timeline(
+                SystemKind::fastswap_default(),
+                "Memcached",
+                &scale,
+                SimDuration::from_millis(5),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig3_kernel, bench_fig6_kernel, bench_fig7_kernel,
+              bench_fig8_kernel, bench_fig9_kernel, bench_fig10_kernel
+}
+criterion_main!(figures);

@@ -1,0 +1,51 @@
+//! Ablation (§IV-C): group size vs per-node memory-map overhead.
+//!
+//! Reproduces the paper's scalability arithmetic — a flat cluster-wide
+//! map costs gigabytes per node (5 GB for 2 TB of cluster memory at 8 B
+//! per 4 KiB entry); hierarchical groups bound the map to the group.
+//!
+//! Run with: `cargo run --release -p dmem-bench --bin ablation_groups`
+
+use dmem_bench::Table;
+use dmem_cluster::{map_overhead_bytes, GroupTable};
+use dmem_types::{ByteSize, NodeId};
+
+fn main() {
+    // The paper's arithmetic first.
+    let mut headline = Table::new(
+        "§IV-C arithmetic — flat memory-map overhead per node",
+        &["cluster disaggregated memory", "entry", "metadata/entry", "map per node"],
+    );
+    for (total, label) in [
+        (ByteSize::from_gib(2 * 1024), "2 TB"),
+        (ByteSize::from_gib(10 * 1024), "10 TB"),
+    ] {
+        headline.row([
+            label.to_owned(),
+            "4 KiB".to_owned(),
+            "8 B".to_owned(),
+            map_overhead_bytes(total, 4096, 8).to_string(),
+        ]);
+    }
+    headline.emit("ablation_groups_arithmetic");
+
+    // Group-size sweep on a 256-node cluster of 64 GiB nodes.
+    let nodes: Vec<NodeId> = (0..256).map(NodeId::new).collect();
+    let per_node = ByteSize::from_gib(64);
+    let mut table = Table::new(
+        "Ablation — group size vs per-node map overhead (256 nodes × 64 GiB)",
+        &["group size", "groups", "map per node", "sharable pool per group"],
+    );
+    for group_size in [4usize, 8, 16, 32, 64, 128, 256] {
+        let groups = GroupTable::partition(&nodes, group_size).unwrap();
+        table.row([
+            group_size.to_string(),
+            groups.group_count().to_string(),
+            groups.per_node_map_overhead(per_node).to_string(),
+            (per_node * group_size as u64).to_string(),
+        ]);
+    }
+    table.emit("ablation_groups");
+    println!("\nTrade-off: larger groups share a bigger idle-memory pool but every node");
+    println!("pays linearly more map metadata; the paper's remedy is 2+ tier grouping.");
+}

@@ -1,0 +1,72 @@
+//! Ablation (§IV-E): memory imbalance under the four placement policies.
+//!
+//! Stores a stream of single-replica entries across a cluster under each
+//! policy and reports the resulting load spread — the "minimize memory
+//! imbalance" criterion the paper names.
+//!
+//! Run with: `cargo run --release -p dmem-bench --bin ablation_placement`
+
+use dmem_bench::Table;
+use dmem_cluster::{ClusterMembership, Placer, RemoteStore};
+use dmem_net::Fabric;
+use dmem_sim::{CostModel, DetRng, FailureInjector, SimClock};
+use dmem_types::{ByteSize, EntryId, NodeId, PlacementStrategy, ServerId};
+
+const NODES: u32 = 16;
+const ENTRIES: u64 = 2_000;
+
+fn imbalance(strategy: PlacementStrategy) -> (f64, f64) {
+    let clock = SimClock::new();
+    let failures = FailureInjector::new(clock.clone());
+    let fabric = Fabric::new(clock, CostModel::paper_default(), failures.clone());
+    let nodes: Vec<NodeId> = (0..NODES).map(NodeId::new).collect();
+    let membership = ClusterMembership::new(nodes.clone(), failures);
+    let store = RemoteStore::new(fabric, membership.clone(), ByteSize::from_mib(16)).unwrap();
+    let placer = Placer::new(strategy, membership.clone(), DetRng::new(7));
+    let owner = ServerId::new(NodeId::new(0), 0);
+
+    for key in 0..ENTRIES {
+        let candidates = membership.candidates(NodeId::new(0));
+        let target = placer.pick(&candidates, 1).unwrap()[0];
+        store
+            .store(NodeId::new(0), target, EntryId::new(owner, key), vec![0u8; 4096])
+            .unwrap();
+    }
+    let loads: Vec<u64> = nodes
+        .iter()
+        .skip(1) // node 0 never hosts its own entries
+        .map(|&n| store.stats(n).unwrap().capacity.as_u64() - store.stats(n).unwrap().free.as_u64())
+        .collect();
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let max = *loads.iter().max().unwrap() as f64;
+    let variance = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / loads.len() as f64;
+    (max / mean, variance.sqrt() / mean)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Ablation — placement policy vs memory imbalance (16 nodes, 2000 single-replica writes)",
+        &["policy", "max/mean load", "coefficient of variation"],
+    );
+    for strategy in [
+        PlacementStrategy::Random,
+        PlacementStrategy::RoundRobin,
+        PlacementStrategy::WeightedRoundRobin,
+        PlacementStrategy::PowerOfTwoChoices,
+    ] {
+        let (peak, cv) = imbalance(strategy);
+        table.row([
+            strategy.to_string(),
+            format!("{peak:.3}"),
+            format!("{cv:.3}"),
+        ]);
+    }
+    table.emit("ablation_placement");
+    println!("\nExpectation: round-robin is perfectly balanced on a uniform stream;");
+    println!("power-of-two-choices nearly matches it while staying load-aware;");
+    println!("random shows the largest spread.");
+}

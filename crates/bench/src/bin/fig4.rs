@@ -1,0 +1,77 @@
+//! Fig. 4: effect of page compressibility on completion time for
+//! LogisticRegression at the 50% configuration — swapping the overflow of
+//! a full shared memory pool (a) to remote memory, (b) to disk.
+//!
+//! Paper §IV-H: "Figure 4(a) and 4(b) show the impact of compression when
+//! swapping-out least recent pages to the remote memory v.s. to the disk
+//! respectively when the shared memory pool is full on the local node."
+//! Compression buys capacity in whichever tier absorbs the overflow:
+//! better-compressing pages mean more of the working set stays in fast
+//! memory before the next tier down is touched.
+//!
+//! Run with: `cargo run --release -p dmem-bench --bin fig4`
+
+use dmem_bench::{speedup, Table};
+use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
+use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
+use dmem_workloads::{catalog, TraceConfig};
+
+const RATIOS: [f64; 4] = [1.3, 2.0, 3.0, 4.5];
+
+fn run(scale: &SwapScale, mean_ratio: f64) -> u64 {
+    let kind = SystemKind::FastSwap {
+        ratio: DistributionRatio::FS_SM,
+        compression: CompressionMode::FourGranularity,
+        pbs: true,
+    };
+    let mut engine = build_system_with_pages(kind, scale, mean_ratio, 0.4).unwrap();
+    let profile = catalog::by_name("LogisticRegression").unwrap();
+    let trace = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
+    let (_, completion) = engine.run(trace).unwrap();
+    completion.as_nanos()
+}
+
+fn main() {
+    // A small shared pool that fills immediately; the sweep varies how far
+    // the compressed overflow reaches into the next tier.
+    let mut remote_scale = SwapScale::bench();
+    remote_scale.memory_fraction = 0.5;
+    remote_scale.shared_donation = 0.25;
+    remote_scale.remote_pool = ByteSize::from_mib(1); // tight cluster memory
+
+    let mut disk_scale = remote_scale.clone();
+    disk_scale.remote_pool = ByteSize::ZERO; // (b): no remote tier at all
+    // (b) keeps a smaller pool so even highly compressible overflow still
+    // exercises the disk, as a disk-backed deployment would.
+    disk_scale.shared_donation = 0.10;
+
+    let mut table = Table::new(
+        "Fig. 4 — LogisticRegression @50%, shared pool full: completion vs compressibility",
+        &["compressibility", "(a) overflow to remote", "(b) overflow to disk", "remote vs disk"],
+    );
+    let mut firsts = (0u64, 0u64);
+    for (i, ratio) in RATIOS.into_iter().enumerate() {
+        let remote_ns = run(&remote_scale, ratio);
+        let disk_ns = run(&disk_scale, ratio);
+        if i == 0 {
+            firsts = (remote_ns, disk_ns);
+        }
+        table.row([
+            format!("{ratio:.1}x"),
+            format!(
+                "{:.1} ms ({} vs 1.3x)",
+                remote_ns as f64 / 1e6,
+                speedup(firsts.0, remote_ns)
+            ),
+            format!(
+                "{:.1} ms ({} vs 1.3x)",
+                disk_ns as f64 / 1e6,
+                speedup(firsts.1, disk_ns)
+            ),
+            speedup(disk_ns, remote_ns),
+        ]);
+    }
+    table.emit("fig4");
+    println!("\nShape check (paper): completion time falls with compressibility on both");
+    println!("overflow devices, and the remote tier beats the disk tier throughout.");
+}

@@ -1,0 +1,80 @@
+//! Fig. 6: completion time of FastSwap with proactive batch swap-in (PBS),
+//! FastSwap without PBS, Infiniswap, and Linux disk swapping, for four
+//! sizes of disaggregated-memory workloads.
+//!
+//! The workload is swap-in dominated, as in the paper's measurement: the
+//! working set starts parked in disaggregated memory (or on the swap
+//! device) and the application sweeps through it twice — the regime in
+//! which batching swap-ins pays (or does not, for the systems that cannot
+//! batch).
+//!
+//! Run with: `cargo run --release -p dmem-bench --bin fig6`
+
+use dmem_bench::{speedup, Table};
+use dmem_swap::{build_system, SwapScale, SystemKind};
+use dmem_types::{CompressionMode, DistributionRatio};
+
+const SIZES: [u64; 4] = [512, 1024, 2048, 4096];
+const SWEEPS: u64 = 2;
+
+fn run(kind: SystemKind, scale: &SwapScale) -> u64 {
+    let mut engine = build_system(kind, scale).unwrap();
+    engine.preload_swapped(scale.working_set_pages).unwrap();
+    let t0 = engine.clock().now();
+    for _ in 0..SWEEPS {
+        for pfn in 0..scale.working_set_pages {
+            engine.access(pfn, pfn % 4 == 0).unwrap();
+        }
+    }
+    (engine.clock().now() - t0).as_nanos()
+}
+
+fn main() {
+    // A modest shared pool forces a meaningful share of traffic onto the
+    // remote path, where batch swap-in matters.
+    let mut base = SwapScale::bench();
+    base.shared_donation = 0.10;
+
+    let systems = [
+        (
+            "FastSwap (PBS)",
+            SystemKind::FastSwap {
+                ratio: DistributionRatio::FS_SM,
+                compression: CompressionMode::FourGranularity,
+                pbs: true,
+            },
+        ),
+        (
+            "FastSwap w/o PBS",
+            SystemKind::FastSwap {
+                ratio: DistributionRatio::FS_SM,
+                compression: CompressionMode::FourGranularity,
+                pbs: false,
+            },
+        ),
+        ("Infiniswap", SystemKind::Infiniswap),
+        ("Linux", SystemKind::Linux),
+    ];
+
+    let mut table = Table::new(
+        "Fig. 6 — swap-in dominated completion time by system and workload size",
+        &["working set", "FastSwap (PBS)", "FastSwap w/o PBS", "Infiniswap", "Linux", "PBS vs w/o", "PBS vs Linux"],
+    );
+    for pages in SIZES {
+        let mut scale = base.clone();
+        scale.working_set_pages = pages;
+        let mut cells = vec![format!("{pages} pages ({} MiB)", pages * 4096 / (1 << 20))];
+        let mut times = Vec::new();
+        for (_, kind) in systems {
+            let ns = run(kind, &scale);
+            times.push(ns);
+            cells.push(format!("{:.1} ms", ns as f64 / 1e6));
+        }
+        cells.push(speedup(times[1], times[0]));
+        cells.push(speedup(times[3], times[0]));
+        table.row(cells);
+    }
+    table.emit("fig6");
+    println!("\nShape check (paper): FastSwap+PBS fastest at every size, w/o PBS next,");
+    println!("then Infiniswap, with Linux orders of magnitude behind.");
+}

@@ -1,0 +1,68 @@
+//! Fig. 8: throughput of Redis, Memcached and VoltDB at the 50%
+//! configuration while varying the node-level/cluster-level distribution
+//! ratio of disaggregated memory: FS-SM, FS-9:1, FS-7:3, FS-5:5, FS-RDMA,
+//! against Linux, Infiniswap and NBDX.
+//!
+//! Run with: `cargo run --release -p dmem-bench --bin fig8`
+
+use dmem_bench::Table;
+use dmem_swap::{run_kv_throughput, SwapScale, SystemKind};
+use dmem_types::{CompressionMode, DistributionRatio};
+
+const OPS: usize = 20_000;
+
+fn fastswap(ratio: DistributionRatio) -> SystemKind {
+    SystemKind::FastSwap {
+        ratio,
+        compression: CompressionMode::FourGranularity,
+        pbs: true,
+    }
+}
+
+fn main() {
+    let mut scale = SwapScale::bench();
+    scale.memory_fraction = 0.5;
+
+    let mut columns: Vec<(String, SystemKind)> = vec![
+        ("Linux".into(), SystemKind::Linux),
+        ("Infiniswap".into(), SystemKind::Infiniswap),
+        ("NBDX".into(), SystemKind::Nbdx),
+    ];
+    for ratio in DistributionRatio::FIG8_SWEEP {
+        columns.push((ratio.to_string(), fastswap(ratio)));
+    }
+
+    let header: Vec<String> = std::iter::once("workload".to_owned())
+        .chain(columns.iter().map(|(label, _)| format!("{label} (ops/s)")))
+        .chain(["FS-SM/Linux".to_owned(), "FS-SM/Infiniswap".to_owned()])
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig. 8 — KV throughput vs disaggregated memory distribution ratio (@50%)",
+        &header_refs,
+    );
+
+    for workload in ["Redis", "Memcached", "VoltDB"] {
+        let mut cells = vec![workload.to_owned()];
+        let mut linux = 0.0f64;
+        let mut inf = 0.0f64;
+        let mut fs_sm = 0.0f64;
+        for (label, kind) in &columns {
+            let (throughput, _) = run_kv_throughput(*kind, workload, &scale, OPS).unwrap();
+            match label.as_str() {
+                "Linux" => linux = throughput,
+                "Infiniswap" => inf = throughput,
+                "FS-SM" => fs_sm = throughput,
+                _ => {}
+            }
+            cells.push(format!("{throughput:.0}"));
+        }
+        cells.push(format!("{:.0}x", fs_sm / linux.max(1e-9)));
+        cells.push(format!("{:.1}x", fs_sm / inf.max(1e-9)));
+        table.row(cells);
+    }
+    table.emit("fig8");
+    println!("\nShape check (paper): throughput decreases monotonically from FS-SM to");
+    println!("FS-RDMA; FS-SM beats Linux by triple-digit factors (paper: up to 571x for");
+    println!("Redis) and Infiniswap by large factors; even FS-RDMA beats Infiniswap/NBDX.");
+}

@@ -1,0 +1,33 @@
+//! Table 3: the ten memory-intensive applications used in §V.
+//!
+//! Run with: `cargo run --release -p dmem-bench --bin table3`
+
+use dmem_bench::Table;
+use dmem_workloads::{catalog, AppKind};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 3 — applications used in experiments (paper: working sets 25-30 GB, inputs 12-20 GB)",
+        &["application", "kind", "working set", "input", "iterations/mix", "page compressibility"],
+    );
+    for app in catalog::table3() {
+        let (kind, structure) = match app.kind {
+            AppKind::IterativeMl { iterations } => {
+                ("iterative ML/graph".to_owned(), format!("{iterations} iterations"))
+            }
+            AppKind::KeyValue { read_fraction } => (
+                "key-value / OLTP".to_owned(),
+                format!("{:.0}% reads", read_fraction * 100.0),
+            ),
+        };
+        table.row([
+            app.name.to_owned(),
+            kind,
+            app.working_set.to_string(),
+            app.input_size.to_string(),
+            structure,
+            format!("{:.1}x ± {:.1}", app.compress_mean, app.compress_spread),
+        ]);
+    }
+    table.emit("table3");
+}

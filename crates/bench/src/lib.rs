@@ -1,0 +1,145 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every `fig*` binary prints a human-readable table to stdout **and**
+//! writes the same rows as CSV under `results/` so EXPERIMENTS.md can
+//! reference machine-readable output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A rendered experiment table: header plus rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column header.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>width$}  ", width = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.header);
+        line(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<String>>(),
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Writes the table as `results/<name>.csv`, creating the directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — the bench binaries want loud failures.
+    pub fn write_csv(&self, name: &str) {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path).expect("create csv");
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        writeln!(
+            file,
+            "{}",
+            self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )
+        .expect("write header");
+        for row in &self.rows {
+            writeln!(
+                file,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            )
+            .expect("write row");
+        }
+        println!("[written {}]", path.display());
+    }
+
+    /// Prints and writes in one call.
+    pub fn emit(&self, name: &str) {
+        self.print();
+        self.write_csv(name);
+    }
+}
+
+/// Formats a speedup like the paper quotes them.
+pub fn speedup(baseline_ns: u64, system_ns: u64) -> String {
+    format!("{:.1}x", baseline_ns as f64 / system_ns.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        t.print();
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        Table::new("demo", &["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn speedup_format() {
+        assert_eq!(speedup(1000, 100), "10.0x");
+        assert_eq!(speedup(1000, 0), "1000.0x");
+    }
+}

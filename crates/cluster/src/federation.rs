@@ -1,0 +1,353 @@
+//! Two-tier hierarchical group sharing (paper §IV-C).
+//!
+//! "One way to extend the flat structure of the group based sharing model
+//! is to introduce two or more tiers of hierarchical grouping algorithms.
+//! Each group in each tier will elect a group leader … Also, a leader can
+//! request dynamic re-grouping when its group experiences shortage of
+//! disaggregated memory."
+//!
+//! [`Federation`] implements that second tier: group leaders form a
+//! super-group; a starved group's leader consults it to **lease** idle
+//! nodes from the sibling group with the most free memory (bounded, with
+//! an expiry), and may fall back to **merging** groups when leases cannot
+//! cover a sustained shortage. Memory maps stay bounded: a member only
+//! ever tracks its own group plus currently leased nodes.
+
+use crate::election::LeaderElection;
+use crate::group::GroupTable;
+use crate::membership::ClusterMembership;
+use dmem_sim::{SimClock, SimDuration, SimInstant};
+use dmem_types::{ByteSize, DmemError, DmemResult, GroupId, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An active cross-group lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The borrowing (starved) group.
+    pub borrower: GroupId,
+    /// The donating group.
+    pub donor: GroupId,
+    /// Donor nodes the borrower may place entries on.
+    pub nodes: Vec<NodeId>,
+    /// When the lease lapses.
+    pub expires_at: SimInstant,
+}
+
+/// The tier-2 coordinator over a [`GroupTable`].
+pub struct Federation {
+    membership: ClusterMembership,
+    clock: SimClock,
+    groups: Mutex<GroupTable>,
+    election: LeaderElection,
+    leases: Mutex<HashMap<GroupId, Lease>>,
+    lease_duration: SimDuration,
+    max_leased_nodes: usize,
+}
+
+impl Federation {
+    /// Creates a federation over an initial grouping.
+    pub fn new(
+        membership: ClusterMembership,
+        clock: SimClock,
+        groups: GroupTable,
+        election: LeaderElection,
+        lease_duration: SimDuration,
+        max_leased_nodes: usize,
+    ) -> Self {
+        Federation {
+            membership,
+            clock,
+            groups: Mutex::new(groups),
+            election,
+            leases: Mutex::new(HashMap::new()),
+            lease_duration,
+            max_leased_nodes: max_leased_nodes.max(1),
+        }
+    }
+
+    /// Aggregate advertised free memory of a group's alive members.
+    pub fn group_free(&self, group: GroupId) -> ByteSize {
+        let groups = self.groups.lock();
+        groups
+            .members(group)
+            .iter()
+            .filter(|&&n| self.membership.is_alive(n))
+            .map(|&n| self.membership.free_of(n))
+            .sum()
+    }
+
+    /// The group currently containing `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::NodeUnavailable`] for unknown nodes.
+    pub fn group_of(&self, node: NodeId) -> DmemResult<GroupId> {
+        self.groups.lock().group_of(node)
+    }
+
+    /// Remote-placement candidates for `node`: alive group peers plus any
+    /// currently leased donor nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::NodeUnavailable`] for unknown nodes.
+    pub fn candidates_for(&self, node: NodeId) -> DmemResult<Vec<NodeId>> {
+        let group = self.group_of(node)?;
+        self.expire_leases();
+        let mut candidates: Vec<NodeId> = {
+            let groups = self.groups.lock();
+            groups
+                .peers(node)?
+                .into_iter()
+                .filter(|&n| self.membership.is_alive(n))
+                .collect()
+        };
+        if let Some(lease) = self.leases.lock().get(&group) {
+            let leased: Vec<NodeId> = lease
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&n| self.membership.is_alive(n) && !candidates.contains(&n))
+                .collect();
+            candidates.extend(leased);
+        }
+        Ok(candidates)
+    }
+
+    fn expire_leases(&self) {
+        let now = self.clock.now();
+        self.leases.lock().retain(|_, lease| lease.expires_at > now);
+    }
+
+    /// Tier-2 consultation: if `group`'s free memory is below `threshold`,
+    /// lease nodes from the sibling group with the most free memory.
+    /// Returns the active lease (new or existing), or `None` when the
+    /// group is healthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::CapacityExhausted`] when no sibling group can
+    /// donate (the caller may then fall back to [`Federation::merge_into`]).
+    pub fn check_pressure(&self, group: GroupId, threshold: ByteSize) -> DmemResult<Option<Lease>> {
+        self.expire_leases();
+        if self.group_free(group) >= threshold {
+            return Ok(None);
+        }
+        if let Some(existing) = self.leases.lock().get(&group) {
+            return Ok(Some(existing.clone()));
+        }
+        // Consult the super-group: pick the donor group with most free
+        // memory (its leader answers for it; leaders must be electable).
+        let group_ids = self.groups.lock().group_ids();
+        let donor = group_ids
+            .into_iter()
+            .filter(|&g| g != group)
+            .filter(|&g| {
+                let groups = self.groups.lock();
+                self.election.leader(&groups, g).is_ok()
+            })
+            .max_by_key(|&g| self.group_free(g))
+            .ok_or(DmemError::CapacityExhausted {
+                pool: "no donor group".into(),
+            })?;
+        if self.group_free(donor) <= threshold {
+            return Err(DmemError::CapacityExhausted {
+                pool: format!("donor {donor} has no spare capacity"),
+            });
+        }
+        // Lease the donor's freest nodes.
+        let mut donors: Vec<NodeId> = {
+            let groups = self.groups.lock();
+            groups
+                .members(donor)
+                .iter()
+                .copied()
+                .filter(|&n| self.membership.is_alive(n))
+                .collect()
+        };
+        donors.sort_by_key(|&n| std::cmp::Reverse(self.membership.free_of(n)));
+        donors.truncate(self.max_leased_nodes);
+        let lease = Lease {
+            borrower: group,
+            donor,
+            nodes: donors,
+            expires_at: self.clock.now() + self.lease_duration,
+        };
+        self.leases.lock().insert(group, lease.clone());
+        Ok(Some(lease))
+    }
+
+    /// Dynamic re-grouping: permanently merges `starved` into `donor`
+    /// (the escalation beyond leases). Active leases of the merged groups
+    /// are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupTable::merge`] errors.
+    pub fn merge_into(&self, starved: GroupId, donor: GroupId) -> DmemResult<GroupId> {
+        let merged = self.groups.lock().merge(starved, donor)?;
+        let mut leases = self.leases.lock();
+        leases.remove(&starved);
+        leases.remove(&donor);
+        Ok(merged)
+    }
+
+    /// Number of active leases.
+    pub fn active_leases(&self) -> usize {
+        self.expire_leases();
+        self.leases.lock().len()
+    }
+
+    /// Current group count.
+    pub fn group_count(&self) -> usize {
+        self.groups.lock().group_count()
+    }
+}
+
+impl fmt::Debug for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Federation")
+            .field("groups", &self.group_count())
+            .field("leases", &self.leases.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_sim::{FailureEvent, FailureInjector};
+
+    fn setup(nodes: u32, group_size: usize) -> (SimClock, FailureInjector, ClusterMembership, Federation) {
+        let clock = SimClock::new();
+        let failures = FailureInjector::new(clock.clone());
+        let ids: Vec<NodeId> = (0..nodes).map(NodeId::new).collect();
+        let membership = ClusterMembership::new(ids.clone(), failures.clone());
+        let groups = GroupTable::partition(&ids, group_size).unwrap();
+        let election = LeaderElection::new(
+            membership.clone(),
+            clock.clone(),
+            SimDuration::from_millis(50),
+        );
+        let federation = Federation::new(
+            membership.clone(),
+            clock.clone(),
+            groups,
+            election,
+            SimDuration::from_millis(100),
+            2,
+        );
+        (clock, failures, membership, federation)
+    }
+
+    fn advertise_group(m: &ClusterMembership, nodes: std::ops::Range<u32>, mib: u64) {
+        for n in nodes {
+            m.advertise_free(NodeId::new(n), ByteSize::from_mib(mib));
+        }
+    }
+
+    #[test]
+    fn healthy_group_gets_no_lease() {
+        let (_, _, m, fed) = setup(8, 4);
+        advertise_group(&m, 0..4, 10);
+        let lease = fed
+            .check_pressure(GroupId::new(0), ByteSize::from_mib(8))
+            .unwrap();
+        assert!(lease.is_none());
+        assert_eq!(fed.active_leases(), 0);
+    }
+
+    #[test]
+    fn starved_group_leases_from_richest_sibling() {
+        let (_, _, m, fed) = setup(12, 4);
+        advertise_group(&m, 0..4, 0); // group 0: starved
+        advertise_group(&m, 4..8, 5); // group 1: modest
+        advertise_group(&m, 8..12, 50); // group 2: rich
+        let lease = fed
+            .check_pressure(GroupId::new(0), ByteSize::from_mib(1))
+            .unwrap()
+            .expect("lease granted");
+        assert_eq!(lease.donor, GroupId::new(2));
+        assert_eq!(lease.nodes.len(), 2, "bounded by max_leased_nodes");
+        assert!(lease.nodes.iter().all(|n| (8..12).contains(&n.index())));
+        // Candidates now include the leased nodes.
+        let candidates = fed.candidates_for(NodeId::new(0)).unwrap();
+        for n in &lease.nodes {
+            assert!(candidates.contains(n));
+        }
+        assert_eq!(fed.active_leases(), 1);
+    }
+
+    #[test]
+    fn lease_is_reused_while_active() {
+        let (_, _, m, fed) = setup(8, 4);
+        advertise_group(&m, 0..4, 0);
+        advertise_group(&m, 4..8, 50);
+        let a = fed
+            .check_pressure(GroupId::new(0), ByteSize::from_mib(1))
+            .unwrap()
+            .unwrap();
+        let b = fed
+            .check_pressure(GroupId::new(0), ByteSize::from_mib(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(a, b, "no duplicate lease while one is active");
+    }
+
+    #[test]
+    fn leases_expire_on_the_clock() {
+        let (clock, _, m, fed) = setup(8, 4);
+        advertise_group(&m, 0..4, 0);
+        advertise_group(&m, 4..8, 50);
+        fed.check_pressure(GroupId::new(0), ByteSize::from_mib(1))
+            .unwrap()
+            .unwrap();
+        assert_eq!(fed.active_leases(), 1);
+        clock.advance(SimDuration::from_millis(150));
+        assert_eq!(fed.active_leases(), 0);
+        let candidates = fed.candidates_for(NodeId::new(0)).unwrap();
+        assert!(candidates.iter().all(|n| n.index() < 4), "lease gone");
+    }
+
+    #[test]
+    fn no_donor_capacity_is_an_error() {
+        let (_, _, m, fed) = setup(8, 4);
+        advertise_group(&m, 0..8, 0); // everyone broke
+        assert!(matches!(
+            fed.check_pressure(GroupId::new(0), ByteSize::from_mib(1)),
+            Err(DmemError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_donor_group_is_skipped() {
+        let (_, failures, m, fed) = setup(12, 4);
+        advertise_group(&m, 0..4, 0);
+        advertise_group(&m, 4..8, 5);
+        advertise_group(&m, 8..12, 50);
+        // The rich group dies entirely.
+        for n in 8..12 {
+            failures.inject_now(FailureEvent::NodeDown(NodeId::new(n)));
+        }
+        let lease = fed
+            .check_pressure(GroupId::new(0), ByteSize::from_mib(1))
+            .unwrap()
+            .expect("falls back to the modest group");
+        assert_eq!(lease.donor, GroupId::new(1));
+    }
+
+    #[test]
+    fn merge_escalation() {
+        let (_, _, m, fed) = setup(8, 4);
+        advertise_group(&m, 0..8, 0);
+        assert_eq!(fed.group_count(), 2);
+        let merged = fed.merge_into(GroupId::new(0), GroupId::new(1)).unwrap();
+        assert_eq!(fed.group_count(), 1);
+        // All seven other nodes are now peers.
+        let candidates = fed.candidates_for(NodeId::new(0)).unwrap();
+        assert_eq!(candidates.len(), 7);
+        assert_eq!(fed.group_of(NodeId::new(7)).unwrap(), merged);
+    }
+}

@@ -1,0 +1,239 @@
+//! Replica placement policies (paper §IV-E).
+//!
+//! "Several algorithms can be employed to minimize memory imbalance across
+//! nodes in a cluster (or a group), such as random, round robin (RR),
+//! weighted RR, or power of two choices." All four are implemented behind
+//! one [`Placer`]; the `ablation_placement` bench compares the imbalance
+//! they produce.
+
+use crate::membership::ClusterMembership;
+use dmem_sim::DetRng;
+use dmem_types::{DmemError, DmemResult, NodeId, PlacementStrategy};
+use parking_lot::Mutex;
+use std::fmt;
+
+/// Chooses the nodes that will host a replicated remote write.
+pub struct Placer {
+    strategy: PlacementStrategy,
+    membership: ClusterMembership,
+    rng: Mutex<DetRng>,
+    rr_cursor: Mutex<usize>,
+}
+
+impl Placer {
+    /// Creates a placer with the given strategy and a deterministic
+    /// random stream.
+    pub fn new(strategy: PlacementStrategy, membership: ClusterMembership, rng: DetRng) -> Self {
+        Placer {
+            strategy,
+            membership,
+            rng: Mutex::new(rng),
+            rr_cursor: Mutex::new(0),
+        }
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// Picks `count` distinct nodes from `candidates` to host a replica
+    /// set (first pick is the primary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::CapacityExhausted`] when fewer than `count`
+    /// candidates exist.
+    pub fn pick(&self, candidates: &[NodeId], count: usize) -> DmemResult<Vec<NodeId>> {
+        if candidates.len() < count {
+            return Err(DmemError::CapacityExhausted {
+                pool: format!(
+                    "placement: {} candidates for {count} replicas",
+                    candidates.len()
+                ),
+            });
+        }
+        let mut picked: Vec<NodeId> = Vec::with_capacity(count);
+        let mut remaining: Vec<NodeId> = candidates.to_vec();
+        for _ in 0..count {
+            let idx = self.pick_one(&remaining)?;
+            picked.push(remaining.swap_remove(idx));
+        }
+        Ok(picked)
+    }
+
+    fn pick_one(&self, remaining: &[NodeId]) -> DmemResult<usize> {
+        debug_assert!(!remaining.is_empty());
+        let idx = match self.strategy {
+            PlacementStrategy::Random => self.rng.lock().below(remaining.len()),
+            PlacementStrategy::RoundRobin => {
+                let mut cursor = self.rr_cursor.lock();
+                let idx = *cursor % remaining.len();
+                *cursor = cursor.wrapping_add(1);
+                idx
+            }
+            PlacementStrategy::WeightedRoundRobin => {
+                // Weight each candidate by advertised free memory; draw
+                // proportionally. Falls back to uniform when all zero.
+                let weights: Vec<u64> = remaining
+                    .iter()
+                    .map(|&n| self.membership.free_of(n).as_u64().max(1))
+                    .collect();
+                let total: u64 = weights.iter().sum();
+                let mut rng = self.rng.lock();
+                let mut draw = (rng.unit() * total as f64) as u64;
+                let mut chosen = remaining.len() - 1;
+                for (i, w) in weights.iter().enumerate() {
+                    if draw < *w {
+                        chosen = i;
+                        break;
+                    }
+                    draw -= w;
+                }
+                chosen
+            }
+            PlacementStrategy::PowerOfTwoChoices => {
+                let mut rng = self.rng.lock();
+                let a = rng.below(remaining.len());
+                let b = rng.below(remaining.len());
+                drop(rng);
+                if self.membership.free_of(remaining[a]) >= self.membership.free_of(remaining[b]) {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+        Ok(idx)
+    }
+}
+
+impl fmt::Debug for Placer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Placer")
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_sim::{FailureInjector, SimClock};
+    use dmem_types::ByteSize;
+    use std::collections::HashMap;
+    use std::collections::HashSet;
+
+    fn membership(n: u32) -> ClusterMembership {
+        let failures = FailureInjector::new(SimClock::new());
+        ClusterMembership::new((0..n).map(NodeId::new).collect(), failures)
+    }
+
+    fn placer(strategy: PlacementStrategy, m: &ClusterMembership) -> Placer {
+        Placer::new(strategy, m.clone(), DetRng::new(42))
+    }
+
+    fn candidates(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn picks_are_distinct() {
+        let m = membership(8);
+        for strategy in [
+            PlacementStrategy::Random,
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::WeightedRoundRobin,
+            PlacementStrategy::PowerOfTwoChoices,
+        ] {
+            let p = placer(strategy, &m);
+            for _ in 0..20 {
+                let picked = p.pick(&candidates(8), 3).unwrap();
+                let set: HashSet<_> = picked.iter().collect();
+                assert_eq!(set.len(), 3, "{strategy}: duplicates in {picked:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_candidates_rejected() {
+        let m = membership(2);
+        let p = placer(PlacementStrategy::Random, &m);
+        assert!(matches!(
+            p.pick(&candidates(2), 3),
+            Err(DmemError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let m = membership(4);
+        let p = placer(PlacementStrategy::RoundRobin, &m);
+        let firsts: Vec<NodeId> = (0..4)
+            .map(|_| p.pick(&candidates(4), 1).unwrap()[0])
+            .collect();
+        let unique: HashSet<_> = firsts.iter().collect();
+        assert_eq!(unique.len(), 4, "RR must visit all nodes: {firsts:?}");
+    }
+
+    #[test]
+    fn power_of_two_prefers_free_nodes() {
+        let m = membership(4);
+        // Node 3 has far more free memory than the rest.
+        m.advertise_free(NodeId::new(3), ByteSize::from_gib(1));
+        for n in 0..3 {
+            m.advertise_free(NodeId::new(n), ByteSize::from_mib(1));
+        }
+        let p = placer(PlacementStrategy::PowerOfTwoChoices, &m);
+        let mut wins = 0;
+        const TRIALS: usize = 200;
+        for _ in 0..TRIALS {
+            if p.pick(&candidates(4), 1).unwrap()[0] == NodeId::new(3) {
+                wins += 1;
+            }
+        }
+        // d=2 sampling: node 3 is picked whenever sampled ≈ 7/16 ≈ 44%.
+        assert!(
+            wins > TRIALS / 4,
+            "power-of-two picked the big node only {wins}/{TRIALS} times"
+        );
+    }
+
+    #[test]
+    fn weighted_rr_skews_toward_free() {
+        let m = membership(2);
+        m.advertise_free(NodeId::new(0), ByteSize::from_mib(9));
+        m.advertise_free(NodeId::new(1), ByteSize::from_mib(1));
+        let p = placer(PlacementStrategy::WeightedRoundRobin, &m);
+        let mut zero_wins = 0;
+        const TRIALS: usize = 300;
+        for _ in 0..TRIALS {
+            if p.pick(&candidates(2), 1).unwrap()[0] == NodeId::new(0) {
+                zero_wins += 1;
+            }
+        }
+        let share = zero_wins as f64 / TRIALS as f64;
+        assert!(
+            share > 0.75,
+            "expected ~90% of picks on the 9x node, got {share:.2}"
+        );
+    }
+
+    #[test]
+    fn random_is_roughly_uniform() {
+        let m = membership(4);
+        let p = placer(PlacementStrategy::Random, &m);
+        let mut counts: HashMap<NodeId, usize> = HashMap::new();
+        const TRIALS: usize = 400;
+        for _ in 0..TRIALS {
+            *counts.entry(p.pick(&candidates(4), 1).unwrap()[0]).or_default() += 1;
+        }
+        for (&node, &count) in &counts {
+            let share = count as f64 / TRIALS as f64;
+            assert!(
+                (0.12..0.40).contains(&share),
+                "{node} got share {share:.2}, expected ~0.25"
+            );
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Triple-replica remote writes (paper §IV-D).
+//!
+//! "We can offer the same degree of fault tolerance by enforcing triple
+//! replica modularity for all remote read and write operations. Finally,
+//! each remote write or read operation is treated as an atomic
+//! transaction, all or nothing." The [`Replicator`] implements exactly
+//! that: a replicated store either lands on every chosen replica or on
+//! none; reads fail over across replicas; a degraded set can be repaired
+//! by re-replication.
+
+use crate::membership::ClusterMembership;
+use crate::placement::Placer;
+use crate::remote::RemoteStore;
+use dmem_types::{DmemError, DmemResult, EntryId, NodeId, ReplicationFactor};
+use std::fmt;
+use std::sync::Arc;
+
+/// The nodes holding one entry's replicas; the first is the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSet {
+    /// Replica hosts, primary first.
+    pub nodes: Vec<NodeId>,
+}
+
+impl ReplicaSet {
+    /// The primary replica host.
+    pub fn primary(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Replication degree.
+    pub fn degree(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl fmt::Display for ReplicaSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replicas[")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Replicated store/load/delete over the [`RemoteStore`].
+pub struct Replicator {
+    store: Arc<RemoteStore>,
+    placer: Placer,
+    factor: ReplicationFactor,
+}
+
+impl Replicator {
+    /// Creates a replicator writing `factor` copies placed by `placer`.
+    pub fn new(store: Arc<RemoteStore>, placer: Placer, factor: ReplicationFactor) -> Self {
+        Replicator {
+            store,
+            placer,
+            factor,
+        }
+    }
+
+    /// The configured replication factor.
+    pub fn factor(&self) -> ReplicationFactor {
+        self.factor
+    }
+
+    /// The membership used for candidate selection.
+    fn membership(&self) -> &ClusterMembership {
+        self.store.membership()
+    }
+
+    /// Stores `data` on `factor` distinct remote nodes chosen from
+    /// `candidates` (or from all alive peers of `from` when `candidates`
+    /// is `None`). All-or-nothing: if any replica write fails, every
+    /// already-written replica is deleted and an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::ReplicationFailed`] when the full degree could
+    /// not be committed (after rollback), or placement errors when too few
+    /// candidates exist.
+    pub fn store_replicated(
+        &self,
+        from: NodeId,
+        entry: EntryId,
+        data: &[u8],
+        candidates: Option<&[NodeId]>,
+    ) -> DmemResult<ReplicaSet> {
+        let default_candidates;
+        let candidates = match candidates {
+            Some(c) => c,
+            None => {
+                default_candidates = self.membership().candidates(from);
+                &default_candidates
+            }
+        };
+        // Try placer-preferred nodes first, falling back to the remaining
+        // candidates when a host is full or unreachable (the node manager
+        // "identif[ies] a subset of remote nodes that are candidates",
+        // §IV-E); only when the whole candidate set cannot host the
+        // required degree does the write roll back.
+        let mut remaining: Vec<NodeId> = candidates.to_vec();
+        let mut written: Vec<NodeId> = Vec::with_capacity(self.factor.get());
+        while written.len() < self.factor.get() && !remaining.is_empty() {
+            let node = self.placer.pick(&remaining, 1)?[0];
+            remaining.retain(|&n| n != node);
+            if self.store.store(from, node, entry, data.to_vec()).is_ok() {
+                written.push(node);
+            }
+        }
+        if written.len() < self.factor.get() {
+            for &w in &written {
+                let _ = self.store.delete(from, w, entry);
+            }
+            return Err(DmemError::ReplicationFailed {
+                reached: written.len(),
+                required: self.factor.get(),
+            });
+        }
+        Ok(ReplicaSet { nodes: written })
+    }
+
+    /// Stores a whole window of entries on one freshly placed replica set,
+    /// using one batched RDMA write per replica (§IV-H batching combined
+    /// with §IV-D replication). All-or-nothing across the entire batch and
+    /// every replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::ReplicationFailed`] after rollback when any
+    /// replica write fails, or placement errors when too few candidates
+    /// exist.
+    pub fn store_batch_replicated(
+        &self,
+        from: NodeId,
+        batch: &[(EntryId, Vec<u8>)],
+        candidates: &[NodeId],
+    ) -> DmemResult<ReplicaSet> {
+        let mut remaining: Vec<NodeId> = candidates.to_vec();
+        let mut written: Vec<NodeId> = Vec::with_capacity(self.factor.get());
+        while written.len() < self.factor.get() && !remaining.is_empty() {
+            let node = self.placer.pick(&remaining, 1)?[0];
+            remaining.retain(|&n| n != node);
+            if self.store.store_batch(from, node, batch.to_vec()).is_ok() {
+                written.push(node);
+            }
+        }
+        if written.len() < self.factor.get() {
+            for &w in &written {
+                for (entry, _) in batch {
+                    let _ = self.store.delete(from, w, *entry);
+                }
+            }
+            return Err(DmemError::ReplicationFailed {
+                reached: written.len(),
+                required: self.factor.get(),
+            });
+        }
+        Ok(ReplicaSet { nodes: written })
+    }
+
+    /// Reads the entry from the replica set, failing over across
+    /// replicas in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last replica's error if every replica fails.
+    pub fn load_replicated(
+        &self,
+        from: NodeId,
+        entry: EntryId,
+        replicas: &ReplicaSet,
+    ) -> DmemResult<Vec<u8>> {
+        let mut last_err = DmemError::EntryNotFound(entry);
+        for &node in &replicas.nodes {
+            match self.store.load(from, node, entry) {
+                Ok(data) => return Ok(data),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Deletes the entry from every reachable replica. Unreachable
+    /// replicas are skipped (their pools vanish with the node anyway).
+    pub fn delete_replicated(&self, from: NodeId, entry: EntryId, replicas: &ReplicaSet) {
+        for &node in &replicas.nodes {
+            let _ = self.store.delete(from, node, entry);
+        }
+    }
+
+    /// Counts how many replicas still hold the entry.
+    pub fn live_degree(&self, entry: EntryId, replicas: &ReplicaSet) -> usize {
+        replicas
+            .nodes
+            .iter()
+            .filter(|&&n| self.membership().is_alive(n) && self.store.hosts_entry(n, entry))
+            .count()
+    }
+
+    /// Restores a degraded replica set back to full degree: reads the
+    /// payload from a surviving replica and stores fresh copies on newly
+    /// placed nodes. Returns the repaired set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::EntryNotFound`] if no replica survives, or
+    /// placement errors if the cluster is too small to restore the degree.
+    pub fn re_replicate(
+        &self,
+        from: NodeId,
+        entry: EntryId,
+        replicas: &ReplicaSet,
+    ) -> DmemResult<ReplicaSet> {
+        let survivors: Vec<NodeId> = replicas
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.membership().is_alive(n) && self.store.hosts_entry(n, entry))
+            .collect();
+        if survivors.is_empty() {
+            return Err(DmemError::EntryNotFound(entry));
+        }
+        let missing = self.factor.get().saturating_sub(survivors.len());
+        if missing == 0 {
+            return Ok(ReplicaSet { nodes: survivors });
+        }
+        let data = self.store.load(from, survivors[0], entry)?;
+        let candidates: Vec<NodeId> = self
+            .membership()
+            .candidates(from)
+            .into_iter()
+            .filter(|n| !survivors.contains(n))
+            .collect();
+        let new_hosts = self.placer.pick(&candidates, missing)?;
+        let mut nodes = survivors;
+        for &node in &new_hosts {
+            self.store.store(from, node, entry, data.clone())?;
+            nodes.push(node);
+        }
+        Ok(ReplicaSet { nodes })
+    }
+}
+
+impl fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replicator")
+            .field("factor", &self.factor)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_net::Fabric;
+    use dmem_sim::{CostModel, DetRng, FailureEvent, FailureInjector, SimClock};
+    use dmem_types::{ByteSize, PlacementStrategy, ServerId};
+
+    fn setup(n: u32) -> (FailureInjector, Arc<RemoteStore>, Replicator) {
+        let clock = SimClock::new();
+        let failures = FailureInjector::new(clock.clone());
+        let fabric = Fabric::new(clock.clone(), CostModel::paper_default(), failures.clone());
+        let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let membership = ClusterMembership::new(nodes, failures.clone());
+        let store =
+            Arc::new(RemoteStore::new(fabric, membership.clone(), ByteSize::from_kib(64)).unwrap());
+        let placer = Placer::new(
+            PlacementStrategy::PowerOfTwoChoices,
+            membership,
+            DetRng::new(1),
+        );
+        let replicator = Replicator::new(Arc::clone(&store), placer, ReplicationFactor::TRIPLE);
+        (failures, store, replicator)
+    }
+
+    fn entry(k: u64) -> EntryId {
+        EntryId::new(ServerId::new(NodeId::new(0), 0), k)
+    }
+
+    #[test]
+    fn writes_land_on_three_distinct_nodes() {
+        let (_, store, rep) = setup(5);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[9u8; 256], None)
+            .unwrap();
+        assert_eq!(set.degree(), 3);
+        assert!(!set.nodes.contains(&NodeId::new(0)), "never self-hosted");
+        for &n in &set.nodes {
+            assert!(store.hosts_entry(n, entry(1)));
+        }
+        assert_eq!(rep.live_degree(entry(1), &set), 3);
+    }
+
+    #[test]
+    fn read_fails_over_across_replicas() {
+        let (failures, _, rep) = setup(5);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[5u8; 64], None)
+            .unwrap();
+        // Kill the primary and the second replica: third still serves.
+        failures.inject_now(FailureEvent::NodeDown(set.nodes[0]));
+        failures.inject_now(FailureEvent::NodeDown(set.nodes[1]));
+        assert_eq!(
+            rep.load_replicated(NodeId::new(0), entry(1), &set).unwrap(),
+            vec![5u8; 64]
+        );
+        assert_eq!(rep.live_degree(entry(1), &set), 1);
+    }
+
+    #[test]
+    fn all_replicas_down_errors() {
+        let (failures, _, rep) = setup(5);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[1], None)
+            .unwrap();
+        for &n in &set.nodes {
+            failures.inject_now(FailureEvent::NodeDown(n));
+        }
+        assert!(rep.load_replicated(NodeId::new(0), entry(1), &set).is_err());
+    }
+
+    #[test]
+    fn failed_write_rolls_back_all_copies() {
+        let (failures, store, rep) = setup(4);
+        // With 4 nodes, candidates for node 0 are {1,2,3}; kill node 3 so
+        // the triple write must fail partway (placement can't avoid it).
+        failures.inject_now(FailureEvent::NodeDown(NodeId::new(3)));
+        let err = rep
+            .store_replicated(NodeId::new(0), entry(1), &[1], None)
+            .unwrap_err();
+        // Either placement already saw only 2 candidates, or the write
+        // reached some replicas and rolled back.
+        assert!(matches!(
+            err,
+            DmemError::ReplicationFailed { .. } | DmemError::CapacityExhausted { .. }
+        ));
+        for n in 1..3 {
+            assert!(
+                !store.hosts_entry(NodeId::new(n), entry(1)),
+                "rollback must leave no copy on node {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn re_replication_restores_degree() {
+        let (failures, store, rep) = setup(6);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[3u8; 128], None)
+            .unwrap();
+        let victim = set.nodes[1];
+        failures.inject_now(FailureEvent::NodeDown(victim));
+        store.reset_node(victim).ok(); // crash loses contents
+        failures.inject_now(FailureEvent::NodeUp(victim));
+        store.reset_node(victim).unwrap();
+
+        assert_eq!(rep.live_degree(entry(1), &set), 2);
+        let repaired = rep.re_replicate(NodeId::new(0), entry(1), &set).unwrap();
+        assert_eq!(repaired.degree(), 3);
+        assert_eq!(rep.live_degree(entry(1), &repaired), 3);
+        // The payload is intact on the repaired set.
+        assert_eq!(
+            rep.load_replicated(NodeId::new(0), entry(1), &repaired).unwrap(),
+            vec![3u8; 128]
+        );
+    }
+
+    #[test]
+    fn re_replicate_noop_when_healthy() {
+        let (_, _, rep) = setup(6);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[1], None)
+            .unwrap();
+        let same = rep.re_replicate(NodeId::new(0), entry(1), &set).unwrap();
+        assert_eq!(same.degree(), 3);
+    }
+
+    #[test]
+    fn delete_removes_reachable_copies() {
+        let (_, store, rep) = setup(5);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[1], None)
+            .unwrap();
+        rep.delete_replicated(NodeId::new(0), entry(1), &set);
+        for &n in &set.nodes {
+            assert!(!store.hosts_entry(n, entry(1)));
+        }
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let (_, _, rep) = setup(8);
+        let allowed = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[1], Some(&allowed))
+            .unwrap();
+        for n in &set.nodes {
+            assert!(allowed.contains(n), "{n} outside the allowed group");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! An LZ77-family byte codec.
+//!
+//! The format is a simplified LZ4-style token stream tuned for 4 KiB
+//! pages:
+//!
+//! * control byte with high bit **clear**: a literal run of
+//!   `(control + 1)` bytes (1..=128) follows;
+//! * control byte with high bit **set**: a back-reference of length
+//!   `(control & 0x7f) + MIN_MATCH` (4..=131) at the 16-bit little-endian
+//!   offset that follows (1..=65535, within the already-decoded output).
+//!
+//! The compressor uses a greedy hash-chain matcher over 4-byte prefixes.
+//! It is deliberately small and allocation-light rather than maximally
+//! tight: the experiments depend on *relative* compressibility across
+//! workloads, which this codec preserves.
+
+/// Minimum back-reference length; shorter matches are emitted as literals.
+pub const MIN_MATCH: usize = 4;
+/// Maximum back-reference length encodable in one token.
+pub const MAX_MATCH: usize = MIN_MATCH + 0x7f;
+/// Maximum literal run per token.
+const MAX_LITERAL_RUN: usize = 128;
+/// Window: the full page (offsets are 16-bit).
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+const HASH_BITS: u32 = 12;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, returning the token stream.
+///
+/// The output may be longer than the input for incompressible data;
+/// callers that need a bound should compare lengths and keep the raw
+/// bytes instead (as [`crate::PageCodec`] does).
+///
+/// # Examples
+///
+/// ```
+/// use dmem_compress::lz;
+///
+/// let data = b"abcabcabcabcabcabc".to_vec();
+/// let packed = lz::compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(lz::decompress(&packed, data.len()).unwrap(), data);
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // head[h] = most recent position with hash h; prev[i] = previous
+    // position in the chain for position i.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut start = from;
+        while start < to {
+            let run = (to - start).min(MAX_LITERAL_RUN);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&input[start..start + run]);
+            start += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        // Walk the chain looking for the longest match.
+        let mut best_len = 0usize;
+        let mut best_pos = usize::MAX;
+        let mut candidate = head[h];
+        let mut probes = 16; // bounded effort per position
+        while candidate != usize::MAX && probes > 0 {
+            if i - candidate <= MAX_OFFSET {
+                let limit = (input.len() - i).min(MAX_MATCH);
+                let mut len = 0;
+                while len < limit && input[candidate + len] == input[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_pos = candidate;
+                    if len == limit {
+                        break;
+                    }
+                }
+            } else {
+                break; // chains are position-ordered; older is farther
+            }
+            candidate = prev[candidate];
+            probes -= 1;
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i, input);
+            let offset = (i - best_pos) as u16;
+            out.push(0x80 | (best_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&offset.to_le_bytes());
+            // Insert the covered positions into the hash chains so later
+            // matches can reference them.
+            let end = (i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            for p in i..end {
+                let hp = hash4(&input[p..]);
+                prev[p] = head[hp];
+                head[hp] = p;
+            }
+            i += best_len;
+            literal_start = i;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len(), input);
+    out
+}
+
+/// Errors produced by [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzError {
+    /// The stream ended in the middle of a token.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadOffset {
+        /// The offending offset.
+        offset: usize,
+        /// Output length at that point.
+        have: usize,
+    },
+    /// The stream decoded to a different length than expected.
+    LengthMismatch {
+        /// Expected output length.
+        expected: usize,
+        /// Actual decoded length.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzError::Truncated => write!(f, "compressed stream truncated"),
+            LzError::BadOffset { offset, have } => {
+                write!(f, "back-reference offset {offset} exceeds decoded length {have}")
+            }
+            LzError::LengthMismatch { expected, actual } => {
+                write!(f, "decoded {actual} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// Decompresses a token stream produced by [`compress`].
+///
+/// `expected_len` is the original input length (stored out-of-band by the
+/// page codec, since pages have a fixed size).
+///
+/// # Errors
+///
+/// Returns an [`LzError`] if the stream is truncated, contains an invalid
+/// back-reference, or does not decode to `expected_len` bytes.
+pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0usize;
+    while i < stream.len() {
+        let control = stream[i];
+        i += 1;
+        if control & 0x80 == 0 {
+            let run = control as usize + 1;
+            if i + run > stream.len() {
+                return Err(LzError::Truncated);
+            }
+            out.extend_from_slice(&stream[i..i + run]);
+            i += run;
+        } else {
+            if i + 2 > stream.len() {
+                return Err(LzError::Truncated);
+            }
+            let len = (control & 0x7f) as usize + MIN_MATCH;
+            let offset = u16::from_le_bytes([stream[i], stream[i + 1]]) as usize;
+            i += 2;
+            if offset == 0 || offset > out.len() {
+                return Err(LzError::BadOffset {
+                    offset,
+                    have: out.len(),
+                });
+            }
+            // Overlapping copies are legal (e.g. offset 1 repeats a byte).
+            let start = out.len() - offset;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(LzError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        decompress(&compress(data), data.len()).expect("roundtrip")
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(compress(&[]), Vec::<u8>::new());
+        assert_eq!(decompress(&[], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn zero_page_compresses_hard() {
+        let page = vec![0u8; 4096];
+        let packed = compress(&page);
+        assert!(packed.len() < 200, "zero page packed to {}", packed.len());
+        assert_eq!(roundtrip(&page), page);
+    }
+
+    #[test]
+    fn repeated_motif() {
+        let page: Vec<u8> = (0..4096).map(|i| b"hello world! "[i % 13]).collect();
+        let packed = compress(&page);
+        assert!(packed.len() < page.len() / 4);
+        assert_eq!(roundtrip(&page), page);
+    }
+
+    #[test]
+    fn random_data_still_roundtrips() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut page = vec![0u8; 4096];
+        rng.fill_bytes(&mut page);
+        let packed = compress(&page);
+        // Incompressible: expansion is bounded by the per-run control byte.
+        assert!(packed.len() <= page.len() + page.len() / MAX_LITERAL_RUN + 1);
+        assert_eq!(roundtrip(&page), page);
+    }
+
+    #[test]
+    fn overlapping_match_offset_one() {
+        let mut data = vec![7u8];
+        data.extend(std::iter::repeat_n(7u8, 300));
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn truncated_literal_rejected() {
+        // Control byte promises 4 literals, stream has 1.
+        assert_eq!(decompress(&[3, 0xAA], 4), Err(LzError::Truncated));
+    }
+
+    #[test]
+    fn truncated_match_rejected() {
+        assert_eq!(decompress(&[0x80, 1], 10), Err(LzError::Truncated));
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        // One literal, then a match at offset 5 with only 1 byte decoded.
+        let stream = vec![0, 0xAA, 0x80, 5, 0];
+        assert!(matches!(
+            decompress(&stream, 5),
+            Err(LzError::BadOffset { offset: 5, have: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_offset_rejected() {
+        let stream = vec![0, 0xAA, 0x80, 0, 0];
+        assert!(matches!(decompress(&stream, 5), Err(LzError::BadOffset { .. })));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let packed = compress(b"abcd");
+        assert!(matches!(
+            decompress(&packed, 5),
+            Err(LzError::LengthMismatch { expected: 5, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            LzError::Truncated,
+            LzError::BadOffset { offset: 9, have: 1 },
+            LzError::LengthMismatch {
+                expected: 1,
+                actual: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_structured(motif in proptest::collection::vec(any::<u8>(), 1..32), reps in 1usize..256) {
+            let data: Vec<u8> = motif.iter().cycle().take(motif.len() * reps).copied().collect();
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn prop_structured_beats_random_size(seed in 0u64..100) {
+            use rand::{RngCore, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mut random = vec![0u8; 1024];
+            rng.fill_bytes(&mut random);
+            let structured: Vec<u8> = (0..1024).map(|i| (i / 64) as u8).collect();
+            prop_assert!(compress(&structured).len() < compress(&random).len());
+        }
+    }
+}

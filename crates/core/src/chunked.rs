@@ -1,0 +1,214 @@
+//! Chunked storage of large values.
+//!
+//! The node shared pool stores page-sized blocks (its slab classes top out
+//! at 4 KiB), so values larger than a page are split into page chunks and
+//! stored under derived keys. Client systems (the KV cache, DAHI) use this
+//! helper so a multi-megabyte value still enjoys the full tiering path —
+//! chunks that fit the shared pool stay at DRAM speed, the rest overflow
+//! in one batched remote write.
+//!
+//! Key derivation reserves the low [`CHUNK_BITS`] bits of the key space
+//! for the chunk index: callers must allocate base keys at multiples of
+//! [`MAX_CHUNKS`].
+
+use crate::system::{DisaggregatedMemory, TierPreference};
+use dmem_types::{DmemError, DmemResult, ServerId, PAGE_SIZE};
+
+/// Bits of the key reserved for the chunk index.
+pub const CHUNK_BITS: u32 = 12;
+/// Maximum chunks (and therefore `4 KiB × 4096 = 16 MiB` max value size).
+pub const MAX_CHUNKS: u64 = 1 << CHUNK_BITS;
+
+fn chunk_key(base: u64, index: u64) -> u64 {
+    (base << CHUNK_BITS) | index
+}
+
+/// Stores `data` under `base` as page-sized chunks plus a length chunk.
+///
+/// The value's byte length is encoded in chunk 0 ahead of the payload so
+/// loads need no out-of-band metadata.
+///
+/// # Errors
+///
+/// Returns [`DmemError::InvalidConfig`] when the value exceeds the
+/// chunked capacity, and propagates tier errors.
+pub fn store_chunked(
+    dm: &DisaggregatedMemory,
+    server: ServerId,
+    base: u64,
+    data: &[u8],
+    pref: TierPreference,
+) -> DmemResult<()> {
+    let header = (data.len() as u64).to_le_bytes();
+    let framed_len = header.len() + data.len();
+    let chunks = framed_len.div_ceil(PAGE_SIZE) as u64;
+    if chunks >= MAX_CHUNKS {
+        return Err(DmemError::InvalidConfig {
+            reason: format!(
+                "value of {} bytes exceeds chunked capacity ({} chunks max)",
+                data.len(),
+                MAX_CHUNKS
+            ),
+        });
+    }
+    let mut framed = Vec::with_capacity(framed_len);
+    framed.extend_from_slice(&header);
+    framed.extend_from_slice(data);
+    let batch: Vec<(u64, Vec<u8>)> = framed
+        .chunks(PAGE_SIZE)
+        .enumerate()
+        .map(|(i, c)| (chunk_key(base, i as u64), c.to_vec()))
+        .collect();
+    dm.put_batch(server, batch, pref)?;
+    // Overwriting with a shorter value: drop the stale tail chunks.
+    for index in chunks..MAX_CHUNKS {
+        if dm.delete(server, chunk_key(base, index)).is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a value stored by [`store_chunked`].
+///
+/// # Errors
+///
+/// Returns [`DmemError::EntryNotFound`] for unknown keys and
+/// [`DmemError::Corrupt`] when the stored length frame is inconsistent.
+pub fn load_chunked(
+    dm: &DisaggregatedMemory,
+    server: ServerId,
+    base: u64,
+) -> DmemResult<Vec<u8>> {
+    let first = dm.get(server, chunk_key(base, 0))?;
+    if first.len() < 8 {
+        return Err(DmemError::Corrupt(dmem_types::EntryId::new(
+            server,
+            chunk_key(base, 0),
+        )));
+    }
+    let len = u64::from_le_bytes(first[..8].try_into().expect("8 bytes")) as usize;
+    let framed_len = len + 8;
+    let chunks = framed_len.div_ceil(PAGE_SIZE) as u64;
+    let mut framed = first;
+    if chunks > 1 {
+        let keys: Vec<u64> = (1..chunks).map(|i| chunk_key(base, i)).collect();
+        for part in dm.get_batch(server, &keys)? {
+            framed.extend_from_slice(&part);
+        }
+    }
+    if framed.len() < framed_len {
+        return Err(DmemError::Corrupt(dmem_types::EntryId::new(
+            server,
+            chunk_key(base, 0),
+        )));
+    }
+    framed.drain(..8);
+    framed.truncate(len);
+    Ok(framed)
+}
+
+/// Deletes a chunked value. Returns the number of chunks removed (0 when
+/// the key was absent).
+pub fn delete_chunked(dm: &DisaggregatedMemory, server: ServerId, base: u64) -> usize {
+    let mut removed = 0;
+    for index in 0..MAX_CHUNKS {
+        if dm.delete(server, chunk_key(base, index)).is_ok() {
+            removed += 1;
+        } else {
+            break;
+        }
+    }
+    removed
+}
+
+/// `true` if a chunked value exists under `base`.
+pub fn contains_chunked(dm: &DisaggregatedMemory, server: ServerId, base: u64) -> bool {
+    dm.record(server, chunk_key(base, 0)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_types::ClusterConfig;
+
+    fn system() -> (DisaggregatedMemory, ServerId) {
+        let dm = DisaggregatedMemory::new(ClusterConfig::small()).unwrap();
+        let server = dm.servers()[0];
+        (dm, server)
+    }
+
+    #[test]
+    fn small_value_roundtrip() {
+        let (dm, server) = system();
+        store_chunked(&dm, server, 1, b"hello", TierPreference::Auto).unwrap();
+        assert_eq!(load_chunked(&dm, server, 1).unwrap(), b"hello");
+        assert!(contains_chunked(&dm, server, 1));
+    }
+
+    #[test]
+    fn empty_value_roundtrip() {
+        let (dm, server) = system();
+        store_chunked(&dm, server, 2, b"", TierPreference::Auto).unwrap();
+        assert_eq!(load_chunked(&dm, server, 2).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip() {
+        let (dm, server) = system();
+        let value: Vec<u8> = (0..20_000u32).map(|i| i as u8).collect();
+        store_chunked(&dm, server, 3, &value, TierPreference::Auto).unwrap();
+        assert_eq!(load_chunked(&dm, server, 3).unwrap(), value);
+        // 20008 framed bytes → 5 chunks.
+        assert_eq!(dm.stats().entries, 5);
+    }
+
+    #[test]
+    fn exact_page_boundaries() {
+        let (dm, server) = system();
+        for (base, len) in [(4u64, PAGE_SIZE - 8), (5, PAGE_SIZE), (6, 2 * PAGE_SIZE - 8)] {
+            let value = vec![0xAB; len];
+            store_chunked(&dm, server, base, &value, TierPreference::Auto).unwrap();
+            assert_eq!(load_chunked(&dm, server, base).unwrap(), value, "len {len}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_all_chunks() {
+        let (dm, server) = system();
+        let value = vec![1u8; 10_000];
+        store_chunked(&dm, server, 7, &value, TierPreference::Auto).unwrap();
+        let removed = delete_chunked(&dm, server, 7);
+        assert_eq!(removed, 3);
+        assert!(!contains_chunked(&dm, server, 7));
+        assert!(load_chunked(&dm, server, 7).is_err());
+        assert_eq!(dm.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_bases_do_not_collide() {
+        let (dm, server) = system();
+        store_chunked(&dm, server, 10, &vec![1u8; 9000], TierPreference::Auto).unwrap();
+        store_chunked(&dm, server, 11, &vec![2u8; 9000], TierPreference::Auto).unwrap();
+        assert_eq!(load_chunked(&dm, server, 10).unwrap(), vec![1u8; 9000]);
+        assert_eq!(load_chunked(&dm, server, 11).unwrap(), vec![2u8; 9000]);
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let (dm, server) = system();
+        let too_big = vec![0u8; (MAX_CHUNKS as usize) * PAGE_SIZE];
+        assert!(matches!(
+            store_chunked(&dm, server, 1, &too_big, TierPreference::Auto),
+            Err(DmemError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let (dm, server) = system();
+        store_chunked(&dm, server, 9, &vec![1u8; 9000], TierPreference::Auto).unwrap();
+        store_chunked(&dm, server, 9, b"short", TierPreference::Auto).unwrap();
+        assert_eq!(load_chunked(&dm, server, 9).unwrap(), b"short");
+    }
+}

@@ -1,0 +1,34 @@
+//! A key-value cache on disaggregated memory.
+//!
+//! The paper names two killer applications for partial memory
+//! disaggregation (§III): memory swapping and "key-value based memory
+//! caching". `dmem-swap` covers the first; this crate implements the
+//! second *directly* — a Memcached-style cache whose heap holds only the
+//! hot set, with cold entries demoted to disaggregated memory (node
+//! shared pool → cluster remote memory → disk) instead of being dropped.
+//! A cache "miss" that would cost a backing-database round trip in
+//! production becomes a disaggregated-memory fetch at micro-second cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmem_core::DisaggregatedMemory;
+//! use dmem_kv::KvCache;
+//! use dmem_types::{ByteSize, ClusterConfig};
+//! use std::sync::Arc;
+//!
+//! let dm = Arc::new(DisaggregatedMemory::new(ClusterConfig::small())?);
+//! let server = dm.servers()[0];
+//! let mut cache = KvCache::new(dm, server, ByteSize::from_kib(64));
+//!
+//! cache.set("user:42", b"profile bytes".to_vec())?;
+//! assert_eq!(cache.get("user:42")?.as_deref(), Some(&b"profile bytes"[..]));
+//! # Ok::<(), dmem_types::DmemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod store;
+
+pub use store::{KvCache, KvCacheStats};

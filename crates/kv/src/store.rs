@@ -1,0 +1,487 @@
+//! The cache implementation.
+
+use dmem_core::{chunked, DisaggregatedMemory, TierPreference};
+use dmem_sim::SimDuration;
+use dmem_types::{checksum, ByteSize, DmemResult, ServerId};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Statistics of a [`KvCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvCacheStats {
+    /// Gets served from the in-heap hot set.
+    pub hot_hits: u64,
+    /// Gets served from disaggregated memory (promoted back to hot).
+    pub dm_hits: u64,
+    /// Gets that found nothing (or an expired entry).
+    pub misses: u64,
+    /// Set operations.
+    pub sets: u64,
+    /// Hot entries demoted to disaggregated memory.
+    pub demotions: u64,
+    /// Entries dropped because they expired.
+    pub expirations: u64,
+}
+
+impl KvCacheStats {
+    /// Overall hit rate in `[0, 1]`; 0 when no gets were served.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hot_hits + self.dm_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hot_hits + self.dm_hits) as f64 / total as f64
+        }
+    }
+}
+
+struct HotEntry {
+    value: Vec<u8>,
+    expires_at_ns: u64, // 0 = never
+    tick: u64,
+}
+
+/// A Memcached-style cache with a bounded in-heap hot set and a
+/// disaggregated-memory overflow tier.
+///
+/// Values up to 16 MiB are supported (they are chunked into pages when
+/// demoted). Keys are arbitrary strings; the overflow tier indexes them
+/// by a 52-bit hash, and stored frames carry the full key so a hash
+/// collision degrades to a cache miss, never to wrong data.
+pub struct KvCache {
+    dm: Arc<DisaggregatedMemory>,
+    server: ServerId,
+    capacity: ByteSize,
+    used: ByteSize,
+    hot: HashMap<String, HotEntry>,
+    lru: BTreeMap<u64, String>,
+    tick: u64,
+    demoted: HashMap<String, ()>,
+    stats: KvCacheStats,
+}
+
+impl KvCache {
+    /// Creates a cache whose hot set holds at most `hot_capacity` of
+    /// values.
+    pub fn new(dm: Arc<DisaggregatedMemory>, server: ServerId, hot_capacity: ByteSize) -> Self {
+        KvCache {
+            dm,
+            server,
+            capacity: hot_capacity,
+            used: ByteSize::ZERO,
+            hot: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            demoted: HashMap::new(),
+            stats: KvCacheStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> KvCacheStats {
+        self.stats
+    }
+
+    /// Entries currently in the hot set.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Entries currently demoted to disaggregated memory.
+    pub fn demoted_len(&self) -> usize {
+        self.demoted.len()
+    }
+
+    fn base_of(key: &str) -> u64 {
+        checksum(key.as_bytes()) >> chunked::CHUNK_BITS
+    }
+
+    fn frame(key: &str, value: &[u8], expires_at_ns: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + key.len() + value.len());
+        out.extend_from_slice(&expires_at_ns.to_le_bytes());
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key.as_bytes());
+        out.extend_from_slice(value);
+        out
+    }
+
+    fn unframe<'a>(frame: &'a [u8], key: &str) -> Option<(u64, &'a [u8])> {
+        if frame.len() < 12 {
+            return None;
+        }
+        let expires = u64::from_le_bytes(frame[..8].try_into().ok()?);
+        let key_len = u32::from_le_bytes(frame[8..12].try_into().ok()?) as usize;
+        if frame.len() < 12 + key_len {
+            return None;
+        }
+        if &frame[12..12 + key_len] != key.as_bytes() {
+            return None; // hash collision: treat as miss
+        }
+        Some((expires, &frame[12 + key_len..]))
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.dm.clock().now().nanos()
+    }
+
+    fn touch(&mut self, key: &str) {
+        self.tick += 1;
+        if let Some(entry) = self.hot.get_mut(key) {
+            self.lru.remove(&entry.tick);
+            entry.tick = self.tick;
+            self.lru.insert(self.tick, key.to_owned());
+        }
+    }
+
+    fn demote_until(&mut self, needed: ByteSize) -> DmemResult<()> {
+        while self.used + needed > self.capacity && !self.hot.is_empty() {
+            let (&tick, victim) = self.lru.iter().next().expect("hot set nonempty");
+            let victim = victim.clone();
+            self.lru.remove(&tick);
+            let entry = self.hot.remove(&victim).expect("victim hot");
+            self.used -= ByteSize::from(entry.value.len());
+            let frame = Self::frame(&victim, &entry.value, entry.expires_at_ns);
+            chunked::store_chunked(
+                &self.dm,
+                self.server,
+                Self::base_of(&victim),
+                &frame,
+                TierPreference::Auto,
+            )?;
+            self.demoted.insert(victim, ());
+            self.stats.demotions += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_hot(&mut self, key: &str, value: Vec<u8>, expires_at_ns: u64) -> DmemResult<()> {
+        if let Some(old) = self.hot.remove(key) {
+            self.lru.remove(&old.tick);
+            self.used -= ByteSize::from(old.value.len());
+        }
+        let size = ByteSize::from(value.len());
+        if size > self.capacity {
+            // Larger than the whole hot set: straight to the overflow tier.
+            let frame = Self::frame(key, &value, expires_at_ns);
+            chunked::store_chunked(
+                &self.dm,
+                self.server,
+                Self::base_of(key),
+                &frame,
+                TierPreference::Auto,
+            )?;
+            self.demoted.insert(key.to_owned(), ());
+            self.stats.demotions += 1;
+            return Ok(());
+        }
+        self.demote_until(size)?;
+        self.tick += 1;
+        self.used += size;
+        self.lru.insert(self.tick, key.to_owned());
+        self.hot.insert(
+            key.to_owned(),
+            HotEntry {
+                value,
+                expires_at_ns,
+                tick: self.tick,
+            },
+        );
+        Ok(())
+    }
+
+    /// Stores `value` under `key` with no expiry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disaggregated-memory failures from demotions.
+    pub fn set(&mut self, key: &str, value: Vec<u8>) -> DmemResult<()> {
+        self.set_inner(key, value, 0)
+    }
+
+    /// Stores `value` under `key`, expiring after `ttl` of virtual time.
+    ///
+    /// # Errors
+    ///
+    /// See [`KvCache::set`].
+    pub fn set_with_ttl(&mut self, key: &str, value: Vec<u8>, ttl: SimDuration) -> DmemResult<()> {
+        let expires = self.now_ns() + ttl.as_nanos();
+        self.set_inner(key, value, expires)
+    }
+
+    fn set_inner(&mut self, key: &str, value: Vec<u8>, expires_at_ns: u64) -> DmemResult<()> {
+        self.stats.sets += 1;
+        // A fresh set supersedes any demoted copy.
+        if self.demoted.remove(key).is_some() {
+            chunked::delete_chunked(&self.dm, self.server, Self::base_of(key));
+        }
+        self.insert_hot(key, value, expires_at_ns)
+    }
+
+    /// Fetches `key`: hot set first, then disaggregated memory (promoting
+    /// the entry back to hot). Expired entries read as misses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disaggregated-memory failures other than not-found.
+    pub fn get(&mut self, key: &str) -> DmemResult<Option<Vec<u8>>> {
+        let now = self.now_ns();
+        if let Some(entry) = self.hot.get(key) {
+            if entry.expires_at_ns != 0 && entry.expires_at_ns <= now {
+                self.remove_hot(key);
+                self.stats.expirations += 1;
+                self.stats.misses += 1;
+                return Ok(None);
+            }
+            let value = entry.value.clone();
+            self.touch(key);
+            self.stats.hot_hits += 1;
+            return Ok(Some(value));
+        }
+        if self.demoted.contains_key(key) {
+            let base = Self::base_of(key);
+            match chunked::load_chunked(&self.dm, self.server, base) {
+                Ok(frame) => {
+                    if let Some((expires, value)) = Self::unframe(&frame, key) {
+                        if expires != 0 && expires <= now {
+                            self.demoted.remove(key);
+                            chunked::delete_chunked(&self.dm, self.server, base);
+                            self.stats.expirations += 1;
+                            self.stats.misses += 1;
+                            return Ok(None);
+                        }
+                        let value = value.to_vec();
+                        self.demoted.remove(key);
+                        chunked::delete_chunked(&self.dm, self.server, base);
+                        self.insert_hot(key, value.clone(), expires)?;
+                        self.stats.dm_hits += 1;
+                        return Ok(Some(value));
+                    }
+                    // Collision overwrote our frame: it is gone.
+                    self.demoted.remove(key);
+                    self.stats.misses += 1;
+                    Ok(None)
+                }
+                Err(_) => {
+                    self.demoted.remove(key);
+                    self.stats.misses += 1;
+                    Ok(None)
+                }
+            }
+        } else {
+            self.stats.misses += 1;
+            Ok(None)
+        }
+    }
+
+    fn remove_hot(&mut self, key: &str) {
+        if let Some(entry) = self.hot.remove(key) {
+            self.lru.remove(&entry.tick);
+            self.used -= ByteSize::from(entry.value.len());
+        }
+    }
+
+    /// Removes `key` from every tier. Returns `true` if it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        let was_hot = self.hot.contains_key(key);
+        self.remove_hot(key);
+        let was_demoted = self.demoted.remove(key).is_some();
+        if was_demoted {
+            chunked::delete_chunked(&self.dm, self.server, Self::base_of(key));
+        }
+        was_hot || was_demoted
+    }
+
+    /// `true` if `key` exists in any tier (ignoring expiry).
+    pub fn contains(&self, key: &str) -> bool {
+        self.hot.contains_key(key) || self.demoted.contains_key(key)
+    }
+}
+
+impl fmt::Debug for KvCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvCache")
+            .field("hot", &self.hot.len())
+            .field("demoted", &self.demoted.len())
+            .field("used", &self.used)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_types::ClusterConfig;
+
+    fn cache(hot_kib: u64) -> KvCache {
+        let dm = Arc::new(DisaggregatedMemory::new(ClusterConfig::small()).unwrap());
+        let server = dm.servers()[0];
+        KvCache::new(dm, server, ByteSize::from_kib(hot_kib))
+    }
+
+    #[test]
+    fn set_get_delete() {
+        let mut c = cache(64);
+        c.set("a", b"1".to_vec()).unwrap();
+        assert_eq!(c.get("a").unwrap(), Some(b"1".to_vec()));
+        assert!(c.delete("a"));
+        assert!(!c.delete("a"));
+        assert_eq!(c.get("a").unwrap(), None);
+        let stats = c.stats();
+        assert_eq!(stats.hot_hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn overflow_demotes_lru_and_promotes_on_access() {
+        let mut c = cache(8); // 8 KiB hot set
+        for i in 0..8 {
+            c.set(&format!("k{i}"), vec![i as u8; 2048]).unwrap();
+        }
+        assert!(c.stats().demotions >= 4, "half the entries must demote");
+        assert!(c.demoted_len() >= 4);
+        // The demoted entries are still readable (dm hit + promotion).
+        let value = c.get("k0").unwrap();
+        assert_eq!(value, Some(vec![0u8; 2048]));
+        assert!(c.stats().dm_hits >= 1);
+        assert!(c.hot.contains_key("k0"), "promoted back to hot");
+    }
+
+    #[test]
+    fn giant_value_goes_straight_to_dm() {
+        let mut c = cache(4);
+        let big = vec![7u8; 100_000];
+        c.set("big", big.clone()).unwrap();
+        assert_eq!(c.hot_len(), 0);
+        assert_eq!(c.demoted_len(), 1);
+        assert_eq!(c.get("big").unwrap(), Some(big));
+    }
+
+    #[test]
+    fn ttl_expiry_in_hot_set() {
+        let mut c = cache(64);
+        let clock = c.dm.clock().clone();
+        c.set_with_ttl("t", b"temp".to_vec(), SimDuration::from_millis(5))
+            .unwrap();
+        assert_eq!(c.get("t").unwrap(), Some(b"temp".to_vec()));
+        clock.advance(SimDuration::from_millis(6));
+        assert_eq!(c.get("t").unwrap(), None);
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_survives_demotion() {
+        let mut c = cache(4);
+        let clock = c.dm.clock().clone();
+        c.set_with_ttl("t", vec![1u8; 2048], SimDuration::from_millis(5))
+            .unwrap();
+        // Push it out of the hot set.
+        c.set("filler1", vec![2u8; 2048]).unwrap();
+        c.set("filler2", vec![3u8; 2048]).unwrap();
+        assert!(c.demoted.contains_key("t"));
+        clock.advance(SimDuration::from_millis(6));
+        assert_eq!(c.get("t").unwrap(), None, "expired in the overflow tier");
+        assert!(!c.contains("t"));
+    }
+
+    #[test]
+    fn overwrite_supersedes_demoted_copy() {
+        let mut c = cache(4);
+        c.set("k", vec![1u8; 2048]).unwrap();
+        c.set("f1", vec![2u8; 2048]).unwrap();
+        c.set("f2", vec![2u8; 2048]).unwrap(); // k demoted
+        assert!(c.demoted.contains_key("k"));
+        c.set("k", b"new".to_vec()).unwrap();
+        assert_eq!(c.get("k").unwrap(), Some(b"new".to_vec()));
+        assert!(!c.demoted.contains_key("k"));
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut c = cache(64);
+        c.set("a", b"1".to_vec()).unwrap();
+        let _ = c.get("a").unwrap();
+        let _ = c.get("nope").unwrap();
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+        let empty = KvCacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn collision_degrades_to_miss_not_wrong_data() {
+        let mut c = cache(4);
+        c.set("victim", vec![9u8; 2048]).unwrap();
+        c.set("f1", vec![0u8; 2048]).unwrap();
+        c.set("f2", vec![0u8; 2048]).unwrap(); // victim demoted
+        assert!(c.demoted.contains_key("victim"));
+        // Forge a colliding frame: overwrite victim's chunk base with a
+        // frame carrying a different key.
+        let base = KvCache::base_of("victim");
+        let forged = KvCache::frame("attacker", b"evil", 0);
+        chunked::store_chunked(&c.dm, c.server, base, &forged, TierPreference::Auto).unwrap();
+        assert_eq!(c.get("victim").unwrap(), None, "collision must read as miss");
+    }
+
+    #[test]
+    fn model_based_random_ops() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::new(
+            proptest::test_runner::Config::with_cases(16),
+        );
+        let ops = proptest::collection::vec(
+            (0u8..3, 0u64..24, 1usize..4000),
+            1..80,
+        );
+        runner
+            .run(&ops, |ops| {
+                let mut cache = cache(8); // tiny hot set: constant churn
+                let mut model: std::collections::HashMap<String, Vec<u8>> =
+                    std::collections::HashMap::new();
+                for (kind, key, len) in ops {
+                    let key = format!("k{key}");
+                    match kind {
+                        0 => {
+                            let value = vec![(key.len() + len) as u8; len];
+                            cache.set(&key, value.clone()).unwrap();
+                            model.insert(key, value);
+                        }
+                        1 => {
+                            let got = cache.get(&key).unwrap();
+                            prop_assert_eq!(got.as_ref(), model.get(&key));
+                        }
+                        _ => {
+                            let deleted = cache.delete(&key);
+                            prop_assert_eq!(deleted, model.remove(&key).is_some());
+                        }
+                    }
+                }
+                // Closing audit across both tiers.
+                for (key, value) in &model {
+                    let got = cache.get(key).unwrap();
+                    prop_assert_eq!(got.as_ref(), Some(value));
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn many_keys_roundtrip_through_tiers() {
+        let mut c = cache(16);
+        // 64 × 1 KiB values overflow the 16 KiB hot set four times over.
+        for i in 0..64u32 {
+            c.set(&format!("key-{i}"), vec![i as u8; 1024]).unwrap();
+        }
+        for i in 0..64u32 {
+            assert_eq!(
+                c.get(&format!("key-{i}")).unwrap(),
+                Some(vec![i as u8; 1024]),
+                "key-{i}"
+            );
+        }
+        let stats = c.stats();
+        assert!(stats.dm_hits > 0, "cold keys came from disaggregated memory");
+        assert_eq!(stats.misses, 0);
+    }
+}

@@ -1,0 +1,789 @@
+//! The fabric: registered memory regions, queue pairs and verbs.
+
+use dmem_sim::{CostModel, FailureInjector, MetricsRegistry, SimClock, SimInstant};
+use dmem_types::{ByteSize, DmemError, DmemResult, MrId, NodeId, QpId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle to a registered memory region; carries the remote key the owner
+/// hands out to peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionHandle {
+    /// Region identifier.
+    pub mr: MrId,
+    /// Node owning the physical memory.
+    pub node: NodeId,
+    /// Remote key checked on every one-sided access.
+    pub rkey: u64,
+}
+
+/// Handle to one endpoint of an RC queue pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QpHandle {
+    /// Queue pair identifier (shared by both endpoints).
+    pub qp: QpId,
+    /// The local endpoint.
+    pub local: NodeId,
+    /// The remote endpoint.
+    pub peer: NodeId,
+}
+
+struct Region {
+    node: NodeId,
+    rkey: u64,
+    buf: Vec<u8>,
+}
+
+struct QpState {
+    a: NodeId,
+    b: NodeId,
+    /// In-order message queue per direction (two-sided SEND/RECV).
+    to_a: VecDeque<Vec<u8>>,
+    to_b: VecDeque<Vec<u8>>,
+    /// Send sequence numbers per direction, for at-most-once accounting.
+    seq_from_a: u64,
+    seq_from_b: u64,
+    connected: bool,
+}
+
+struct Inner {
+    regions: HashMap<MrId, Region>,
+    qps: HashMap<QpId, QpState>,
+    registered_per_node: HashMap<NodeId, ByteSize>,
+    /// Per-QP completion queues for the asynchronous verbs: completions
+    /// become visible once the link has delivered them.
+    cqs: HashMap<QpId, Vec<(SimInstant, Completion)>>,
+    /// Per-QP link occupancy: posted transfers serialize on bandwidth.
+    busy_until: HashMap<QpId, SimInstant>,
+}
+
+/// The kind of work a completion reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// A posted one-sided RDMA WRITE finished.
+    Write,
+    /// A posted one-sided RDMA READ finished; the payload is attached.
+    Read,
+}
+
+/// A completion-queue entry for the asynchronous verbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The work-request id returned at post time.
+    pub wr_id: u64,
+    /// What completed.
+    pub kind: CompletionKind,
+    /// Payload of a completed READ (empty for writes).
+    pub data: Vec<u8>,
+}
+
+/// The simulated RDMA fabric shared by all nodes of a cluster.
+///
+/// Cheap to clone; all clones view the same fabric.
+#[derive(Clone)]
+pub struct Fabric {
+    clock: SimClock,
+    cost: CostModel,
+    failures: FailureInjector,
+    metrics: MetricsRegistry,
+    inner: Arc<Mutex<Inner>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Fabric {
+    /// Creates a fabric over the given clock, cost model and failure
+    /// injector.
+    pub fn new(clock: SimClock, cost: CostModel, failures: FailureInjector) -> Self {
+        Fabric {
+            clock,
+            cost,
+            failures,
+            metrics: MetricsRegistry::new(),
+            inner: Arc::new(Mutex::new(Inner {
+                regions: HashMap::new(),
+                qps: HashMap::new(),
+                registered_per_node: HashMap::new(),
+                cqs: HashMap::new(),
+                busy_until: HashMap::new(),
+            })),
+            next_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The fabric's metrics registry (verb counts, bytes moved).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The failure injector the fabric consults.
+    pub fn failures(&self) -> &FailureInjector {
+        &self.failures
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers `len` bytes of DRAM on `node` for remote access.
+    ///
+    /// Registration pins pages and programs the NIC's translation table;
+    /// we charge one RDMA base latency per 256 registered pages to model
+    /// that this is not free (which is why the eviction handler
+    /// deregisters preemptively, §IV-F).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::NodeUnavailable`] if the node is down.
+    pub fn register(&self, node: NodeId, len: ByteSize) -> DmemResult<RegionHandle> {
+        if !self.failures.is_node_up(node) {
+            return Err(DmemError::NodeUnavailable(node));
+        }
+        let pages = len.pages(4096);
+        self.clock
+            .advance(self.cost.rdma.base * pages.div_ceil(256).max(1));
+        let mr = MrId::new(self.fresh_id());
+        let rkey = self.fresh_id() ^ u64_rotate(mr.as_u64());
+        let mut inner = self.inner.lock();
+        inner.regions.insert(
+            mr,
+            Region {
+                node,
+                rkey,
+                buf: vec![0; len.as_usize()],
+            },
+        );
+        *inner
+            .registered_per_node
+            .entry(node)
+            .or_insert(ByteSize::ZERO) += len;
+        self.metrics.counter("net.mr.registered").inc();
+        Ok(RegionHandle { mr, node, rkey })
+    }
+
+    /// Deregisters a region, releasing its memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::RegionNotRegistered`] if the region does not
+    /// exist (e.g. already deregistered).
+    pub fn deregister(&self, handle: &RegionHandle) -> DmemResult<()> {
+        let mut inner = self.inner.lock();
+        let region = inner
+            .regions
+            .remove(&handle.mr)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        let len = ByteSize::from(region.buf.len());
+        if let Some(total) = inner.registered_per_node.get_mut(&region.node) {
+            *total -= len;
+        }
+        self.metrics.counter("net.mr.deregistered").inc();
+        Ok(())
+    }
+
+    /// Total bytes currently registered on `node`.
+    pub fn registered_bytes(&self, node: NodeId) -> ByteSize {
+        self.inner
+            .lock()
+            .registered_per_node
+            .get(&node)
+            .copied()
+            .unwrap_or(ByteSize::ZERO)
+    }
+
+    /// Establishes an RC queue pair between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::NodeUnavailable`] or [`DmemError::LinkDown`]
+    /// if either endpoint or the link is down.
+    pub fn connect(&self, a: NodeId, b: NodeId) -> DmemResult<QpHandle> {
+        self.check_path(a, b)?;
+        // Connection establishment is a control-plane round trip.
+        self.clock.advance(self.cost.rdma.base * 2);
+        let qp = QpId::new(self.fresh_id());
+        self.inner.lock().qps.insert(
+            qp,
+            QpState {
+                a,
+                b,
+                to_a: VecDeque::new(),
+                to_b: VecDeque::new(),
+                seq_from_a: 0,
+                seq_from_b: 0,
+                connected: true,
+            },
+        );
+        self.metrics.counter("net.qp.connected").inc();
+        Ok(QpHandle { qp, local: a, peer: b })
+    }
+
+    /// The same queue pair viewed from the other endpoint.
+    pub fn peer_handle(&self, qp: &QpHandle) -> QpHandle {
+        QpHandle {
+            qp: qp.qp,
+            local: qp.peer,
+            peer: qp.local,
+        }
+    }
+
+    /// Tears down a queue pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::RegionNotRegistered`] if the queue pair is
+    /// unknown.
+    pub fn disconnect(&self, qp: &QpHandle) -> DmemResult<()> {
+        let mut inner = self.inner.lock();
+        let state = inner
+            .qps
+            .get_mut(&qp.qp)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        state.connected = false;
+        Ok(())
+    }
+
+    fn check_path(&self, a: NodeId, b: NodeId) -> DmemResult<()> {
+        if !self.failures.is_node_up(a) {
+            return Err(DmemError::NodeUnavailable(a));
+        }
+        if !self.failures.is_node_up(b) {
+            return Err(DmemError::NodeUnavailable(b));
+        }
+        if !self.failures.is_link_up(a, b) {
+            return Err(DmemError::LinkDown { from: a, to: b });
+        }
+        Ok(())
+    }
+
+    fn check_qp(&self, qp: &QpHandle) -> DmemResult<()> {
+        self.check_path(qp.local, qp.peer)?;
+        let inner = self.inner.lock();
+        match inner.qps.get(&qp.qp) {
+            Some(state) if state.connected => Ok(()),
+            _ => Err(DmemError::LinkDown {
+                from: qp.local,
+                to: qp.peer,
+            }),
+        }
+    }
+
+    /// One-sided RDMA WRITE: places `data` into the remote region at
+    /// `offset` without involving the remote CPU.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is down ([`DmemError::LinkDown`] /
+    /// [`DmemError::NodeUnavailable`]), the region is gone
+    /// ([`DmemError::RegionNotRegistered`]), the rkey does not match
+    /// ([`DmemError::AccessDenied`]), the access is out of bounds
+    /// ([`DmemError::RegionOutOfBounds`]), or the region is not on the
+    /// peer node ([`DmemError::AccessDenied`]).
+    pub fn write(&self, qp: &QpHandle, data: &[u8], region: &RegionHandle, offset: u64) -> DmemResult<()> {
+        self.one_sided_access(qp, region, offset, data.len())?;
+        self.clock.advance(self.cost.rdma.transfer(data.len()));
+        let mut inner = self.inner.lock();
+        let r = inner
+            .regions
+            .get_mut(&region.mr)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        let start = offset as usize;
+        r.buf[start..start + data.len()].copy_from_slice(data);
+        self.metrics.counter("net.write.ops").inc();
+        self.metrics.counter("net.write.bytes").add(data.len() as u64);
+        Ok(())
+    }
+
+    /// One-sided RDMA READ: fetches `len` bytes from the remote region.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fabric::write`].
+    pub fn read(&self, qp: &QpHandle, region: &RegionHandle, offset: u64, len: usize) -> DmemResult<Vec<u8>> {
+        self.one_sided_access(qp, region, offset, len)?;
+        self.clock.advance(self.cost.rdma.transfer(len));
+        let inner = self.inner.lock();
+        let r = inner
+            .regions
+            .get(&region.mr)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        let start = offset as usize;
+        let out = r.buf[start..start + len].to_vec();
+        self.metrics.counter("net.read.ops").inc();
+        self.metrics.counter("net.read.bytes").add(len as u64);
+        Ok(out)
+    }
+
+    fn one_sided_access(
+        &self,
+        qp: &QpHandle,
+        region: &RegionHandle,
+        offset: u64,
+        len: usize,
+    ) -> DmemResult<()> {
+        self.check_qp(qp)?;
+        let inner = self.inner.lock();
+        let r = inner
+            .regions
+            .get(&region.mr)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        if r.rkey != region.rkey {
+            return Err(DmemError::AccessDenied);
+        }
+        if r.node != qp.peer {
+            // One-sided verbs go to the connected peer's memory only.
+            return Err(DmemError::AccessDenied);
+        }
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or(DmemError::RegionOutOfBounds {
+                offset,
+                len: len as u64,
+                capacity: r.buf.len() as u64,
+            })?;
+        if end > r.buf.len() as u64 {
+            return Err(DmemError::RegionOutOfBounds {
+                offset,
+                len: len as u64,
+                capacity: r.buf.len() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Two-sided SEND: enqueues a message for the peer (control plane).
+    ///
+    /// Messages preserve boundaries and order, per the RDMA access model
+    /// the paper describes in §IV-G.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the same path errors as the one-sided verbs.
+    pub fn send(&self, qp: &QpHandle, msg: Vec<u8>) -> DmemResult<u64> {
+        self.check_qp(qp)?;
+        self.clock.advance(self.cost.rdma.transfer(msg.len()));
+        let mut inner = self.inner.lock();
+        let state = inner
+            .qps
+            .get_mut(&qp.qp)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        debug_assert!(
+            qp.local == state.a || qp.local == state.b,
+            "queue pair handle endpoint mismatch"
+        );
+        let seq = if qp.local == state.a {
+            state.to_b.push_back(msg);
+            state.seq_from_a += 1;
+            state.seq_from_a
+        } else {
+            state.to_a.push_back(msg);
+            state.seq_from_b += 1;
+            state.seq_from_b
+        };
+        self.metrics.counter("net.send.ops").inc();
+        Ok(seq)
+    }
+
+    /// Two-sided RECV: dequeues the next message addressed to this
+    /// endpoint, if any. Receiving does not advance the clock (the message
+    /// already paid its transfer on send).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::RegionNotRegistered`] for an unknown queue
+    /// pair.
+    pub fn recv(&self, qp: &QpHandle) -> DmemResult<Option<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        let state = inner
+            .qps
+            .get_mut(&qp.qp)
+            .ok_or(DmemError::RegionNotRegistered)?;
+        let msg = if qp.local == state.a {
+            state.to_a.pop_front()
+        } else {
+            state.to_b.pop_front()
+        };
+        Ok(msg)
+    }
+
+    fn post_transfer(
+        &self,
+        qp: &QpHandle,
+        kind: CompletionKind,
+        data: Vec<u8>,
+        bytes: usize,
+    ) -> u64 {
+        // Submission itself is a doorbell write: ~100 ns of CPU.
+        self.clock.advance(dmem_sim::SimDuration::from_nanos(100));
+        let wr_id = self.fresh_id();
+        let mut inner = self.inner.lock();
+        let now = self.clock.now();
+        let start = inner
+            .busy_until
+            .get(&qp.qp)
+            .copied()
+            .unwrap_or(SimInstant::EPOCH)
+            .max(now);
+        let done = start + self.cost.rdma.transfer(bytes);
+        inner.busy_until.insert(qp.qp, done);
+        inner
+            .cqs
+            .entry(qp.qp)
+            .or_default()
+            .push((done, Completion { wr_id, kind, data }));
+        wr_id
+    }
+
+    /// Asynchronous one-sided WRITE (§IV-G: "no blocking during a
+    /// transfer"): validates and applies the write, charges only the
+    /// submission cost now, and delivers a [`Completion`] once the link
+    /// has carried the bytes. Posted transfers on one queue pair
+    /// serialize on link bandwidth but overlap with the caller's compute.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fabric::write`].
+    pub fn post_write(
+        &self,
+        qp: &QpHandle,
+        data: &[u8],
+        region: &RegionHandle,
+        offset: u64,
+    ) -> DmemResult<u64> {
+        self.one_sided_access(qp, region, offset, data.len())?;
+        {
+            let mut inner = self.inner.lock();
+            let r = inner
+                .regions
+                .get_mut(&region.mr)
+                .ok_or(DmemError::RegionNotRegistered)?;
+            let start = offset as usize;
+            r.buf[start..start + data.len()].copy_from_slice(data);
+        }
+        self.metrics.counter("net.write.ops").inc();
+        self.metrics.counter("net.write.bytes").add(data.len() as u64);
+        Ok(self.post_transfer(qp, CompletionKind::Write, Vec::new(), data.len()))
+    }
+
+    /// Asynchronous one-sided READ: the payload arrives with the
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fabric::read`].
+    pub fn post_read(
+        &self,
+        qp: &QpHandle,
+        region: &RegionHandle,
+        offset: u64,
+        len: usize,
+    ) -> DmemResult<u64> {
+        self.one_sided_access(qp, region, offset, len)?;
+        let data = {
+            let inner = self.inner.lock();
+            let r = inner
+                .regions
+                .get(&region.mr)
+                .ok_or(DmemError::RegionNotRegistered)?;
+            let start = offset as usize;
+            r.buf[start..start + len].to_vec()
+        };
+        self.metrics.counter("net.read.ops").inc();
+        self.metrics.counter("net.read.bytes").add(len as u64);
+        Ok(self.post_transfer(qp, CompletionKind::Read, data, len))
+    }
+
+    /// Drains completions whose transfers have finished by now.
+    pub fn poll_cq(&self, qp: &QpHandle) -> Vec<Completion> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        let Some(cq) = inner.cqs.get_mut(&qp.qp) else {
+            return Vec::new();
+        };
+        let mut ready = Vec::new();
+        cq.retain(|(at, completion)| {
+            if *at <= now {
+                ready.push(completion.clone());
+                false
+            } else {
+                true
+            }
+        });
+        ready.sort_by_key(|c| c.wr_id);
+        ready
+    }
+
+    /// Blocks (in virtual time) until every posted transfer on `qp` has
+    /// completed, returning the drained completions.
+    pub fn wait_cq(&self, qp: &QpHandle) -> Vec<Completion> {
+        let target = {
+            let inner = self.inner.lock();
+            inner.busy_until.get(&qp.qp).copied()
+        };
+        if let Some(t) = target {
+            self.clock.advance_to(t);
+        }
+        self.poll_cq(qp)
+    }
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Fabric")
+            .field("regions", &inner.regions.len())
+            .field("qps", &inner.qps.len())
+            .finish()
+    }
+}
+
+// Small mixing helper so rkeys are not guessable from MrIds in tests.
+fn u64_rotate(x: u64) -> u64 {
+    x.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_sim::FailureEvent;
+
+    fn fabric() -> (SimClock, FailureInjector, Fabric) {
+        let clock = SimClock::new();
+        let failures = FailureInjector::new(clock.clone());
+        let fabric = Fabric::new(clock.clone(), CostModel::paper_default(), failures.clone());
+        (clock, failures, fabric)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (_, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(8)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        f.write(&qp, b"hello", &mr, 100).unwrap();
+        assert_eq!(f.read(&qp, &mr, 100, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn verbs_charge_time() {
+        let (clock, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(8)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let before = clock.now();
+        f.write(&qp, &[0u8; 4096], &mr, 0).unwrap();
+        let elapsed = clock.now() - before;
+        // 4 KiB at 5 GB/s + 1.8 us base ≈ 2.6 us.
+        assert!(elapsed.as_micros_f64() > 2.0 && elapsed.as_micros_f64() < 4.0);
+    }
+
+    #[test]
+    fn batched_transfer_cheaper_than_many_small() {
+        let (clock, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_mib(1)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let t0 = clock.now();
+        f.write(&qp, &vec![0u8; 32 * 4096], &mr, 0).unwrap();
+        let batched = clock.now() - t0;
+        let t1 = clock.now();
+        for i in 0..32 {
+            f.write(&qp, &vec![0u8; 4096], &mr, i * 4096).unwrap();
+        }
+        let separate = clock.now() - t1;
+        assert!(batched < separate);
+    }
+
+    #[test]
+    fn wrong_rkey_denied() {
+        let (_, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let forged = RegionHandle { rkey: mr.rkey ^ 1, ..mr };
+        assert_eq!(f.write(&qp, b"x", &forged, 0), Err(DmemError::AccessDenied));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (_, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(matches!(
+            f.write(&qp, &[0u8; 16], &mr, 4090),
+            Err(DmemError::RegionOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            f.read(&qp, &mr, u64::MAX, 16),
+            Err(DmemError::RegionOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn deregistered_region_faults() {
+        let (_, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        f.deregister(&mr).unwrap();
+        assert_eq!(f.read(&qp, &mr, 0, 1), Err(DmemError::RegionNotRegistered));
+        assert_eq!(f.deregister(&mr), Err(DmemError::RegionNotRegistered));
+        assert_eq!(f.registered_bytes(NodeId::new(1)), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn region_must_belong_to_peer() {
+        let (_, _, f) = fabric();
+        // Region on node 2, but QP connects 0 <-> 1.
+        let mr = f.register(NodeId::new(2), ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(f.write(&qp, b"x", &mr, 0), Err(DmemError::AccessDenied));
+    }
+
+    #[test]
+    fn send_recv_preserves_order_and_boundaries() {
+        let (_, _, f) = fabric();
+        let qp_a = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let qp_b = f.peer_handle(&qp_a);
+        f.send(&qp_a, vec![1]).unwrap();
+        f.send(&qp_a, vec![2, 2]).unwrap();
+        f.send(&qp_b, vec![9]).unwrap(); // reverse direction independent
+        assert_eq!(f.recv(&qp_b).unwrap(), Some(vec![1]));
+        assert_eq!(f.recv(&qp_b).unwrap(), Some(vec![2, 2]));
+        assert_eq!(f.recv(&qp_b).unwrap(), None, "at-most-once: nothing left");
+        assert_eq!(f.recv(&qp_a).unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn link_failure_blocks_verbs() {
+        let (_, failures, f) = fabric();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mr = f.register(b, ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(a, b).unwrap();
+        failures.inject_now(FailureEvent::LinkDown(a, b));
+        assert_eq!(
+            f.write(&qp, b"x", &mr, 0),
+            Err(DmemError::LinkDown { from: a, to: b })
+        );
+        failures.inject_now(FailureEvent::LinkUp(a, b));
+        assert!(f.write(&qp, b"x", &mr, 0).is_ok());
+    }
+
+    #[test]
+    fn node_failure_blocks_everything() {
+        let (_, failures, f) = fabric();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mr = f.register(b, ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(a, b).unwrap();
+        failures.inject_now(FailureEvent::NodeDown(b));
+        assert_eq!(f.read(&qp, &mr, 0, 1), Err(DmemError::NodeUnavailable(b)));
+        assert_eq!(
+            f.register(b, ByteSize::from_kib(4)),
+            Err(DmemError::NodeUnavailable(b))
+        );
+        assert!(f.connect(a, b).is_err());
+    }
+
+    #[test]
+    fn disconnect_blocks_qp() {
+        let (_, _, f) = fabric();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        f.disconnect(&qp).unwrap();
+        assert!(matches!(f.send(&qp, vec![1]), Err(DmemError::LinkDown { .. })));
+    }
+
+    #[test]
+    fn async_verbs_do_not_block_the_caller() {
+        let (clock, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_mib(1)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let t0 = clock.now();
+        let wr = f.post_write(&qp, &vec![7u8; 64 * 1024], &mr, 0).unwrap();
+        let submit_cost = clock.now() - t0;
+        // Posting costs a doorbell, not the 14+ us transfer.
+        assert!(submit_cost.as_micros_f64() < 1.0, "post blocked: {submit_cost}");
+        // Not complete yet…
+        assert!(f.poll_cq(&qp).is_empty());
+        // …until the transfer time has elapsed.
+        clock.advance(f.cost_model().rdma.transfer(64 * 1024));
+        let completions = f.poll_cq(&qp);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].wr_id, wr);
+        assert_eq!(completions[0].kind, CompletionKind::Write);
+        // The data landed (applied at post time in the simulator).
+        assert_eq!(f.read(&qp, &mr, 0, 4).unwrap(), vec![7u8; 4]);
+    }
+
+    #[test]
+    fn posted_transfers_serialize_on_link_bandwidth() {
+        let (clock, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_mib(4)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let one = f.cost_model().rdma.transfer(1 << 20);
+        let t0 = clock.now();
+        f.post_write(&qp, &vec![1u8; 1 << 20], &mr, 0).unwrap();
+        f.post_write(&qp, &vec![2u8; 1 << 20], &mr, 1 << 20).unwrap();
+        // After one transfer time only the first is complete.
+        clock.advance(one);
+        assert_eq!(f.poll_cq(&qp).len(), 1);
+        // wait_cq drains the rest, advancing to the link's busy horizon.
+        let rest = f.wait_cq(&qp);
+        assert_eq!(rest.len(), 1);
+        let elapsed = clock.now() - t0;
+        assert!(elapsed >= one * 2, "two 1 MiB transfers share one link");
+    }
+
+    #[test]
+    fn post_read_delivers_payload_with_completion() {
+        let (clock, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(8)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        f.write(&qp, b"payload", &mr, 32).unwrap();
+        let wr = f.post_read(&qp, &mr, 32, 7).unwrap();
+        let completions = f.wait_cq(&qp);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].wr_id, wr);
+        assert_eq!(completions[0].kind, CompletionKind::Read);
+        assert_eq!(completions[0].data, b"payload");
+        let _ = clock;
+    }
+
+    #[test]
+    fn post_validates_like_sync_verbs() {
+        let (_, failures, f) = fabric();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mr = f.register(b, ByteSize::from_kib(4)).unwrap();
+        let qp = f.connect(a, b).unwrap();
+        assert!(matches!(
+            f.post_write(&qp, &[0u8; 16], &mr, 4090),
+            Err(DmemError::RegionOutOfBounds { .. })
+        ));
+        let forged = RegionHandle { rkey: mr.rkey ^ 1, ..mr };
+        assert_eq!(f.post_read(&qp, &forged, 0, 1), Err(DmemError::AccessDenied));
+        failures.inject_now(FailureEvent::LinkDown(a, b));
+        assert!(matches!(
+            f.post_write(&qp, &[1], &mr, 0),
+            Err(DmemError::LinkDown { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_accounting() {
+        let (_, _, f) = fabric();
+        let n = NodeId::new(4);
+        let _mr1 = f.register(n, ByteSize::from_mib(1)).unwrap();
+        let mr2 = f.register(n, ByteSize::from_mib(2)).unwrap();
+        assert_eq!(f.registered_bytes(n), ByteSize::from_mib(3));
+        f.deregister(&mr2).unwrap();
+        assert_eq!(f.registered_bytes(n), ByteSize::from_mib(1));
+        assert_eq!(f.metrics().counter("net.mr.registered").get(), 2);
+    }
+}

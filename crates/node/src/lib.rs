@@ -1,0 +1,52 @@
+//! Node-level memory disaggregation (paper §III, §IV-B).
+//!
+//! Virtual servers co-hosted on a physical node donate a configurable
+//! fraction of their allocated DRAM to a **node-coordinated shared memory
+//! pool**. A server under memory pressure parks data entries (swapped-out
+//! pages, cache partitions) in that pool — at DRAM speed, not network
+//! speed — before ever touching remote memory or disk.
+//!
+//! Components:
+//!
+//! * [`pool`] — a size-class slab allocator over the shared pool
+//!   ([`SharedMemoryPool`]);
+//! * [`donation`] — per-server donation accounting and the ballooning
+//!   bounds of §IV-F ([`DonationRegistry`]);
+//! * [`manager`] — the node manager: entry-level put/get/delete over the
+//!   pool, the node's disaggregated-memory page table, and pressure
+//!   signals ([`NodeManager`]);
+//! * [`agent`] — the per-server LDMC/LDMS request path ([`LocalDmc`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dmem_node::{LocalDmc, NodeManager};
+//! use dmem_sim::{CostModel, SimClock};
+//! use dmem_types::{ByteSize, DonationPolicy, NodeId, ServerId, SizeClass};
+//! use std::sync::Arc;
+//!
+//! let clock = SimClock::new();
+//! let node = NodeId::new(0);
+//! let manager = Arc::new(NodeManager::new(node, ByteSize::from_mib(1),
+//!                                          clock, CostModel::paper_default()));
+//! let server = ServerId::new(node, 0);
+//! manager.register_server(server, ByteSize::from_mib(16), DonationPolicy::paper_default());
+//!
+//! let ldmc = LocalDmc::new(server, Arc::clone(&manager));
+//! ldmc.put(1, b"swapped page".to_vec(), SizeClass::C512)?;
+//! assert_eq!(ldmc.get(1)?, b"swapped page".to_vec());
+//! # Ok::<(), dmem_types::DmemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod donation;
+pub mod manager;
+pub mod pool;
+
+pub use agent::LocalDmc;
+pub use donation::DonationRegistry;
+pub use manager::{BalloonAdvice, NodeManager, NodeStats};
+pub use pool::{BlockRef, PoolStats, SharedMemoryPool};

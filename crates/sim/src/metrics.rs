@@ -1,0 +1,331 @@
+//! Lightweight metrics: counters, gauges and log-bucket histograms.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move in both directions.
+#[derive(Debug, Default, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A power-of-two-bucket histogram for latency-style values.
+///
+/// Values are assigned to bucket `⌈log2(v)⌉`; 64 buckets cover the full
+/// `u64` range. Memory is constant and recording is lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use dmem_sim::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in [100, 200, 400, 800] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.mean() > 300.0 && h.mean() < 400.0);
+/// assert!(h.quantile(0.5) >= 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64; 65]>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of observations; zero when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the q-th observation. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A named registry of metrics, shared across components of one cluster.
+///
+/// Keys are hierarchical strings such as `"fastswap.swap_out.remote"`.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: Arc<RwLock<BTreeMap<String, Counter>>>,
+    gauges: Arc<RwLock<BTreeMap<String, Gauge>>>,
+    histograms: Arc<RwLock<BTreeMap<String, Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauge values, sorted by name.
+    pub fn gauge_snapshot(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.counter_snapshot() {
+            writeln!(f, "{name} = {value}")?;
+        }
+        for (name, value) in self.gauge_snapshot() {
+            writeln!(f, "{name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(10);
+        g.add(-4);
+        assert_eq!(g.get(), 6);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_zero_and_one() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!((256..=1024).contains(&p50), "p50 bucket was {p50}");
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_returns_same_metric_for_same_name() {
+        let r = MetricsRegistry::new();
+        r.counter("a.b").inc();
+        r.counter("a.b").inc();
+        assert_eq!(r.counter("a.b").get(), 2);
+        assert_eq!(r.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_sorted() {
+        let r = MetricsRegistry::new();
+        r.counter("z").inc();
+        r.counter("a").inc();
+        let snap = r.counter_snapshot();
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[1].0, "z");
+        assert!(!r.to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_mean_bounded(values in proptest::collection::vec(0u64..1 << 30, 1..100)) {
+            let h = Histogram::new();
+            let (mut min, mut max) = (u64::MAX, 0);
+            for &v in &values {
+                h.record(v);
+                min = min.min(v);
+                max = max.max(v);
+            }
+            let mean = h.mean();
+            prop_assert!(mean >= min as f64 && mean <= max as f64);
+        }
+
+        #[test]
+        fn prop_bucket_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+        }
+    }
+}

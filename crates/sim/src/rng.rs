@@ -1,0 +1,218 @@
+//! Deterministic random streams.
+//!
+//! Every randomized component (placement, workload generation, failure
+//! schedules) takes a [`DetRng`] forked from the cluster seed, so whole
+//! experiments are reproducible and components do not perturb each other's
+//! streams when the call order changes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator with labelled forking.
+///
+/// # Examples
+///
+/// ```
+/// use dmem_sim::DetRng;
+/// use rand::RngCore;
+///
+/// let mut root = DetRng::new(42);
+/// let mut placement = root.fork("placement");
+/// let mut workload = root.fork("workload");
+/// // Streams are independent: same labels always yield the same streams.
+/// let a: u64 = placement.next_u64();
+/// let b: u64 = DetRng::new(42).fork("placement").next_u64();
+/// assert_eq!(a, b);
+/// # let _ = workload;
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream from a label.
+    ///
+    /// Forking depends only on the parent seed and the label — not on how
+    /// much of the parent stream has been consumed — so adding draws in one
+    /// component never shifts another component's stream.
+    pub fn fork(&self, label: &str) -> DetRng {
+        DetRng::new(splitmix(self.seed ^ fnv1a(label.as_bytes())))
+    }
+
+    /// Derives an independent child stream from a label and an index,
+    /// useful for per-node or per-server streams.
+    pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
+        DetRng::new(splitmix(
+            self.seed ^ fnv1a(label.as_bytes()) ^ splitmix(index),
+        ))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut all: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut all);
+        all.truncate(k);
+        all
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DetRng;
+    use proptest::prelude::*;
+    use rand::RngCore;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_label_stable() {
+        let root = DetRng::new(9);
+        let mut f1 = root.fork("x");
+        let mut f2 = DetRng::new(9).fork("x");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn forks_with_distinct_labels_differ() {
+        let root = DetRng::new(9);
+        assert_ne!(root.fork("a").next_u64(), root.fork("b").next_u64());
+        assert_ne!(
+            root.fork_indexed("n", 0).next_u64(),
+            root.fork_indexed("n", 1).next_u64()
+        );
+    }
+
+    #[test]
+    fn fork_independent_of_consumption() {
+        let mut a = DetRng::new(5);
+        let b = DetRng::new(5);
+        let _ = a.next_u64(); // consume from a only
+        assert_eq!(a.fork("z").next_u64(), b.fork("z").next_u64());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = DetRng::new(1);
+        let picks = rng.sample_indices(10, 3);
+        assert_eq!(picks.len(), 3);
+        let set: HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(picks.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        DetRng::new(0).sample_indices(2, 3);
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = DetRng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unit_in_range(seed in 0u64..1000) {
+            let mut rng = DetRng::new(seed);
+            for _ in 0..50 {
+                let u = rng.unit();
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_below_in_range(seed in 0u64..1000, n in 1usize..10_000) {
+            let mut rng = DetRng::new(seed);
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+}

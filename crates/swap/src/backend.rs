@@ -1,0 +1,114 @@
+//! The swap backend abstraction.
+
+use dmem_types::DmemResult;
+
+/// A destination for swapped-out pages.
+///
+/// Backends receive whole batches so that systems with windowed swap-out
+/// or batch swap-in (§IV-H) pay their base latency once per window; the
+/// engine passes singleton batches when a system lacks batching.
+pub trait SwapBackend {
+    /// Human-readable system name (as used in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Stores a window of `(pfn, page)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; a failed store means the pages were *not*
+    /// persisted and the engine keeps them dirty.
+    fn store_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> DmemResult<()>;
+
+    /// Loads a window of pages, in `pfns` order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any page of the window is absent (the engine only
+    /// requests pages it stored).
+    fn load_batch(&mut self, pfns: &[u64]) -> DmemResult<Vec<Vec<u8>>>;
+
+    /// `true` if the backend holds a (possibly stale-tolerant) copy of
+    /// the page.
+    fn contains(&self, pfn: u64) -> bool;
+
+    /// Drops the backend's copy of a page (called when a resident page is
+    /// dirtied, invalidating the swap-cache copy).
+    fn invalidate(&mut self, pfn: u64);
+}
+
+/// Convenience: store a single page.
+///
+/// # Errors
+///
+/// See [`SwapBackend::store_batch`].
+pub fn store_one<B: SwapBackend + ?Sized>(backend: &mut B, pfn: u64, page: Vec<u8>) -> DmemResult<()> {
+    backend.store_batch(&[(pfn, page)])
+}
+
+/// Convenience: load a single page.
+///
+/// # Errors
+///
+/// See [`SwapBackend::load_batch`].
+pub fn load_one<B: SwapBackend + ?Sized>(backend: &mut B, pfn: u64) -> DmemResult<Vec<u8>> {
+    Ok(backend.load_batch(&[pfn])?.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmem_types::{DmemError, EntryId};
+    use std::collections::HashMap;
+
+    /// Minimal in-memory backend used to exercise the helpers.
+    #[derive(Default)]
+    struct MemBackend {
+        pages: HashMap<u64, Vec<u8>>,
+    }
+
+    impl SwapBackend for MemBackend {
+        fn name(&self) -> &'static str {
+            "mem"
+        }
+        fn store_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> DmemResult<()> {
+            for (pfn, data) in pages {
+                self.pages.insert(*pfn, data.clone());
+            }
+            Ok(())
+        }
+        fn load_batch(&mut self, pfns: &[u64]) -> DmemResult<Vec<Vec<u8>>> {
+            pfns.iter()
+                .map(|p| {
+                    self.pages
+                        .get(p)
+                        .cloned()
+                        .ok_or(DmemError::EntryNotFound(EntryId::default()))
+                })
+                .collect()
+        }
+        fn contains(&self, pfn: u64) -> bool {
+            self.pages.contains_key(&pfn)
+        }
+        fn invalidate(&mut self, pfn: u64) {
+            self.pages.remove(&pfn);
+        }
+    }
+
+    #[test]
+    fn helpers_roundtrip() {
+        let mut b = MemBackend::default();
+        store_one(&mut b, 7, vec![1, 2, 3]).unwrap();
+        assert!(b.contains(7));
+        assert_eq!(load_one(&mut b, 7).unwrap(), vec![1, 2, 3]);
+        b.invalidate(7);
+        assert!(!b.contains(7));
+        assert!(load_one(&mut b, 7).is_err());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn SwapBackend> = Box::<MemBackend>::default();
+        store_one(boxed.as_mut(), 1, vec![9]).unwrap();
+        assert_eq!(boxed.name(), "mem");
+    }
+}

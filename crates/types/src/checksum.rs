@@ -1,0 +1,60 @@
+//! Payload checksumming.
+
+/// Computes the FNV-1a 64-bit hash of `bytes`.
+///
+/// Used as the integrity checksum stored in [`crate::EntryRecord`] and
+/// verified after decompression or network transfer.
+///
+/// # Examples
+///
+/// ```
+/// use dmem_types::checksum;
+///
+/// let a = checksum(b"page contents");
+/// let b = checksum(b"page contents");
+/// assert_eq!(a, b);
+/// assert_ne!(a, checksum(b"tampered contents"));
+/// ```
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_has_stable_offset_basis() {
+        assert_eq!(checksum(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_hash() {
+        let mut data = vec![0u8; 4096];
+        let before = checksum(&data);
+        data[2048] ^= 1;
+        assert_ne!(before, checksum(&data));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_deterministic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            prop_assert_eq!(checksum(&data), checksum(&data));
+        }
+
+        #[test]
+        fn prop_prefix_sensitivity(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+            // Appending a byte must change the hash (FNV never maps x and
+            // x||b to the same value for our input sizes in practice).
+            let mut longer = data.clone();
+            longer.push(0xAB);
+            prop_assert_ne!(checksum(&data), checksum(&longer));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The application catalog (paper Table 3 and the Fig. 3 ML suite).
+//!
+//! Each profile captures what the experiments consume: paper-scale
+//! working-set/input sizes, iteration structure, access locality and the
+//! page-compressibility band the workload's heap exhibits. The
+//! compressibility means are chosen to reproduce the Fig. 3 spread —
+//! graph analytics with pointer-dense pages compress modestly; text/
+//! feature-matrix workloads compress well; zero-heavy sparse workloads
+//! compress best.
+
+use dmem_types::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// What kind of application a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Iterative ML / graph analytics: repeated sweeps over the working
+    /// set (the Fig. 3-7 and Fig. 10 workloads).
+    IterativeMl {
+        /// Number of passes over the working set.
+        iterations: usize,
+    },
+    /// Key-value or OLTP store (the Fig. 8-9 workloads).
+    KeyValue {
+        /// Fraction of operations that are reads.
+        read_fraction: f64,
+    },
+}
+
+/// One application's model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name as the paper uses it.
+    pub name: &'static str,
+    /// Application kind and its structural parameter.
+    pub kind: AppKind,
+    /// Paper-scale working set per virtual server (25-30 GB band).
+    pub working_set: ByteSize,
+    /// Paper-scale input dataset per virtual server (12-20 GB band).
+    pub input_size: ByteSize,
+    /// Mean page compression ratio of the workload's heap.
+    pub compress_mean: f64,
+    /// Half-width of the per-page compressibility band.
+    pub compress_spread: f64,
+    /// Fraction of the working set that is hot.
+    pub hot_fraction: f64,
+    /// Probability an access targets the hot set.
+    pub hot_access_prob: f64,
+    /// Probability an access is a write (dirties the page).
+    pub write_fraction: f64,
+}
+
+const fn gib(n: u64) -> ByteSize {
+    ByteSize::from_gib(n)
+}
+
+/// The ten applications of Table 3: seven iterative ML/graph analytics
+/// plus the three stores used in the throughput experiments.
+pub fn table3() -> Vec<AppProfile> {
+    vec![
+        AppProfile {
+            name: "PageRank",
+            kind: AppKind::IterativeMl { iterations: 10 },
+            working_set: gib(28),
+            input_size: gib(16),
+            compress_mean: 2.2,
+            compress_spread: 0.8,
+            hot_fraction: 0.15,
+            hot_access_prob: 0.55,
+            write_fraction: 0.30,
+        },
+        AppProfile {
+            name: "LogisticRegression",
+            kind: AppKind::IterativeMl { iterations: 12 },
+            working_set: gib(27),
+            input_size: gib(14),
+            compress_mean: 3.4,
+            compress_spread: 1.0,
+            hot_fraction: 0.10,
+            hot_access_prob: 0.50,
+            write_fraction: 0.20,
+        },
+        AppProfile {
+            name: "TunkRank",
+            kind: AppKind::IterativeMl { iterations: 10 },
+            working_set: gib(26),
+            input_size: gib(13),
+            compress_mean: 2.0,
+            compress_spread: 0.7,
+            hot_fraction: 0.20,
+            hot_access_prob: 0.60,
+            write_fraction: 0.30,
+        },
+        AppProfile {
+            name: "KMeans",
+            kind: AppKind::IterativeMl { iterations: 15 },
+            working_set: gib(25),
+            input_size: gib(12),
+            compress_mean: 2.8,
+            compress_spread: 0.9,
+            hot_fraction: 0.05,
+            hot_access_prob: 0.40,
+            write_fraction: 0.15,
+        },
+        AppProfile {
+            name: "SVM",
+            kind: AppKind::IterativeMl { iterations: 12 },
+            working_set: gib(27),
+            input_size: gib(15),
+            compress_mean: 3.0,
+            compress_spread: 1.0,
+            hot_fraction: 0.10,
+            hot_access_prob: 0.45,
+            write_fraction: 0.20,
+        },
+        AppProfile {
+            name: "ConnectedComponents",
+            kind: AppKind::IterativeMl { iterations: 8 },
+            working_set: gib(26),
+            input_size: gib(14),
+            compress_mean: 1.8,
+            compress_spread: 0.6,
+            hot_fraction: 0.25,
+            hot_access_prob: 0.60,
+            write_fraction: 0.35,
+        },
+        AppProfile {
+            name: "ALS",
+            kind: AppKind::IterativeMl { iterations: 10 },
+            working_set: gib(30),
+            input_size: gib(18),
+            compress_mean: 2.5,
+            compress_spread: 0.8,
+            hot_fraction: 0.12,
+            hot_access_prob: 0.50,
+            write_fraction: 0.25,
+        },
+        AppProfile {
+            name: "Memcached",
+            kind: AppKind::KeyValue {
+                read_fraction: 0.95,
+            },
+            working_set: gib(28),
+            input_size: gib(20),
+            compress_mean: 2.6,
+            compress_spread: 1.2,
+            hot_fraction: 0.10,
+            hot_access_prob: 0.80,
+            write_fraction: 0.05,
+        },
+        AppProfile {
+            name: "Redis",
+            kind: AppKind::KeyValue {
+                read_fraction: 0.90,
+            },
+            working_set: gib(27),
+            input_size: gib(18),
+            compress_mean: 2.4,
+            compress_spread: 1.0,
+            hot_fraction: 0.10,
+            hot_access_prob: 0.80,
+            write_fraction: 0.10,
+        },
+        AppProfile {
+            name: "VoltDB",
+            kind: AppKind::KeyValue {
+                read_fraction: 0.50,
+            },
+            working_set: gib(25),
+            input_size: gib(15),
+            compress_mean: 2.0,
+            compress_spread: 0.8,
+            hot_fraction: 0.20,
+            hot_access_prob: 0.70,
+            write_fraction: 0.50,
+        },
+    ]
+}
+
+/// The ten ML workloads whose compression ratios Fig. 3 plots: the seven
+/// iterative profiles of Table 3 extended with three text/feature-heavy
+/// workloads.
+pub fn fig3_ml_suite() -> Vec<AppProfile> {
+    let mut suite: Vec<AppProfile> = table3()
+        .into_iter()
+        .filter(|p| matches!(p.kind, AppKind::IterativeMl { .. }))
+        .collect();
+    suite.push(AppProfile {
+        name: "LDA",
+        kind: AppKind::IterativeMl { iterations: 10 },
+        working_set: gib(26),
+        input_size: gib(13),
+        compress_mean: 4.2,
+        compress_spread: 1.2,
+        hot_fraction: 0.08,
+        hot_access_prob: 0.45,
+        write_fraction: 0.20,
+    });
+    suite.push(AppProfile {
+        name: "Word2Vec",
+        kind: AppKind::IterativeMl { iterations: 12 },
+        working_set: gib(25),
+        input_size: gib(12),
+        compress_mean: 3.8,
+        compress_spread: 1.1,
+        hot_fraction: 0.10,
+        hot_access_prob: 0.50,
+        write_fraction: 0.25,
+    });
+    suite.push(AppProfile {
+        name: "GradientBoostedTrees",
+        kind: AppKind::IterativeMl { iterations: 15 },
+        working_set: gib(27),
+        input_size: gib(14),
+        compress_mean: 3.2,
+        compress_spread: 0.9,
+        hot_fraction: 0.10,
+        hot_access_prob: 0.50,
+        write_fraction: 0.20,
+    });
+    suite
+}
+
+/// Looks up a profile from [`table3`] or [`fig3_ml_suite`] by name.
+pub fn by_name(name: &str) -> Option<AppProfile> {
+    table3()
+        .into_iter()
+        .chain(fig3_ml_suite())
+        .find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_ten_apps_in_paper_bands() {
+        let apps = table3();
+        assert_eq!(apps.len(), 10);
+        for app in &apps {
+            assert!(
+                app.working_set >= gib(25) && app.working_set <= gib(30),
+                "{}: working set {} outside the 25-30 GB band",
+                app.name,
+                app.working_set
+            );
+            assert!(
+                app.input_size >= gib(12) && app.input_size <= gib(20),
+                "{}: input {} outside the 12-20 GB band",
+                app.name,
+                app.input_size
+            );
+            assert!(app.compress_mean >= 1.0);
+            assert!((0.0..=1.0).contains(&app.hot_fraction));
+            assert!((0.0..=1.0).contains(&app.hot_access_prob));
+            assert!((0.0..=1.0).contains(&app.write_fraction));
+        }
+    }
+
+    #[test]
+    fn fig3_suite_is_ten_ml_workloads() {
+        let suite = fig3_ml_suite();
+        assert_eq!(suite.len(), 10);
+        assert!(suite
+            .iter()
+            .all(|p| matches!(p.kind, AppKind::IterativeMl { .. })));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = table3()
+            .iter()
+            .chain(fig3_ml_suite().iter())
+            .map(|p| p.name)
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names.len(), 13, "10 Table-3 apps + 3 Fig. 3 extensions");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("PageRank").is_some());
+        assert!(by_name("LDA").is_some());
+        assert!(by_name("DoesNotExist").is_none());
+    }
+
+    #[test]
+    fn fig7_workloads_present() {
+        for name in ["PageRank", "LogisticRegression", "TunkRank", "KMeans", "SVM"] {
+            assert!(by_name(name).is_some(), "Fig. 7 needs {name}");
+        }
+    }
+
+    #[test]
+    fn fig8_workloads_present() {
+        for name in ["Redis", "Memcached", "VoltDB"] {
+            let app = by_name(name).unwrap();
+            assert!(matches!(app.kind, AppKind::KeyValue { .. }));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Workload models for the paper's evaluation (§V, Table 3).
+//!
+//! The authors drive their systems with ten memory-intensive applications
+//! (working sets 25-30 GB, inputs 12-20 GB per virtual server): iterative
+//! ML/graph analytics for the completion-time experiments (Fig. 3-7, 10)
+//! and key-value/OLTP stores for the throughput experiments (Fig. 8-9).
+//! Those binaries are not replayable here, so this crate models each
+//! application by what the experiments actually consume:
+//!
+//! * a **page access trace** — iteration structure, sequential input
+//!   sweeps, a zipf-skewed hot set ([`traces`]);
+//! * a **page compressibility profile** — per-workload mean/spread used by
+//!   the synthetic page generator ([`catalog`]);
+//! * for KV stores, an **operation stream** — ETC-like read/write mix and
+//!   skew ([`kv`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dmem_workloads::{catalog, traces::TraceConfig};
+//!
+//! let apps = catalog::table3();
+//! assert_eq!(apps.len(), 10);
+//! let pagerank = catalog::by_name("PageRank").expect("in Table 3");
+//! let config = TraceConfig::scaled_from(pagerank, 1024); // 1024-page WS
+//! let accesses: Vec<_> = config.generate(7).take(100).collect();
+//! assert_eq!(accesses.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod kv;
+pub mod traces;
+pub mod zipf;
+
+pub use catalog::{AppKind, AppProfile};
+pub use kv::{KvOp, KvWorkload};
+pub use traces::{PageAccess, TraceConfig};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,69 @@
+//! DAHI integration: the rdd engine over the disaggregated memory core.
+
+use memory_disaggregation::rdd::job::{
+    run_iterative_job, DatasetSize, JobSpec, SpillTier,
+};
+
+#[test]
+fn fig10_order_svm_kmeans_lr_cc() {
+    // The paper's Fig. 10 speedup order at medium datasets:
+    // SVM > KMeans > LR > CC.
+    let speedup = |name: &str| {
+        let spec = JobSpec::named(name).unwrap();
+        let vanilla =
+            run_iterative_job(&spec, DatasetSize::Medium, SpillTier::VanillaDisk).unwrap();
+        let dahi = run_iterative_job(&spec, DatasetSize::Medium, SpillTier::Dahi).unwrap();
+        vanilla.completion.as_nanos() as f64 / dahi.completion.as_nanos() as f64
+    };
+    let svm = speedup("SVM");
+    let kmeans = speedup("KMeans");
+    let lr = speedup("LogisticRegression");
+    let cc = speedup("ConnectedComponents");
+    assert!(
+        svm > kmeans && kmeans > lr && lr > cc,
+        "order violated: SVM {svm:.1} KMeans {kmeans:.1} LR {lr:.1} CC {cc:.1}"
+    );
+    assert!(cc > 1.1, "even CC must benefit: {cc:.2}x");
+}
+
+#[test]
+fn all_workloads_larger_datasets_larger_speedups() {
+    for spec in JobSpec::fig10_suite() {
+        let speedup = |size| {
+            let vanilla = run_iterative_job(&spec, size, SpillTier::VanillaDisk).unwrap();
+            let dahi = run_iterative_job(&spec, size, SpillTier::Dahi).unwrap();
+            vanilla.completion.as_nanos() as f64 / dahi.completion.as_nanos() as f64
+        };
+        let medium = speedup(DatasetSize::Medium);
+        let large = speedup(DatasetSize::Large);
+        assert!(
+            large > medium,
+            "{}: large {large:.2}x <= medium {medium:.2}x",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn results_identical_when_fully_cached() {
+    // Both tiers run the exact same deterministic computation; with no
+    // spills, stats and timing coincide.
+    let spec = JobSpec::named("ConnectedComponents").unwrap();
+    let vanilla = run_iterative_job(&spec, DatasetSize::Small, SpillTier::VanillaDisk).unwrap();
+    let dahi = run_iterative_job(&spec, DatasetSize::Small, SpillTier::Dahi).unwrap();
+    assert_eq!(vanilla.cache.spills, 0);
+    assert_eq!(dahi.cache.spills, 0);
+    assert_eq!(vanilla.cache.memory_hits, dahi.cache.memory_hits);
+}
+
+#[test]
+fn dahi_spills_land_in_disaggregated_memory_not_disk() {
+    let spec = JobSpec::named("SVM").unwrap();
+    let result = run_iterative_job(&spec, DatasetSize::Large, SpillTier::Dahi).unwrap();
+    assert!(result.cache.spills > 0, "large dataset must spill");
+    assert!(result.cache.spill_hits > 0, "iterations re-read spilled blocks");
+    // A completion time in the disk regime would exceed seconds; DAHI
+    // stays well under the vanilla run's.
+    let vanilla = run_iterative_job(&spec, DatasetSize::Large, SpillTier::VanillaDisk).unwrap();
+    assert!(result.completion.as_secs_f64() < vanilla.completion.as_secs_f64() / 2.0);
+}

@@ -1,0 +1,161 @@
+//! Model-based property testing: the full disaggregated memory system
+//! against a plain in-memory reference model, under random operation
+//! sequences. Whatever the tiering, compression, batching, placement and
+//! eviction machinery do internally, the observable key-value behaviour
+//! must match a `HashMap`.
+
+use memory_disaggregation::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { server: usize, key: u64, len: usize, pref: u8 },
+    PutBatch { server: usize, base: u64, count: usize },
+    Get { server: usize, key: u64 },
+    Delete { server: usize, key: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..4, 0u64..24, 1usize..6000, 0u8..4).prop_map(|(server, key, len, pref)| Op::Put {
+            server,
+            key,
+            len,
+            pref
+        }),
+        (0usize..4, 0u64..16, 1usize..6).prop_map(|(server, base, count)| Op::PutBatch {
+            server,
+            base,
+            count
+        }),
+        (0usize..4, 0u64..24).prop_map(|(server, key)| Op::Get { server, key }),
+        (0usize..4, 0u64..24).prop_map(|(server, key)| Op::Delete { server, key }),
+    ]
+}
+
+fn pref_of(raw: u8) -> TierPreference {
+    match raw {
+        0 => TierPreference::Auto,
+        1 => TierPreference::NodeShared,
+        2 => TierPreference::Remote,
+        _ => TierPreference::Disk,
+    }
+}
+
+fn value_for(server: usize, key: u64, len: usize) -> Vec<u8> {
+    // Deterministic, content varies by (server, key, len).
+    (0..len)
+        .map(|i| (server as u64 * 31 + key * 17 + i as u64) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn system_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut config = ClusterConfig::small();
+        // Small pools so ops regularly cross tier boundaries.
+        config.node.recv_pool = ByteSize::from_kib(128);
+        config.server.donation = DonationPolicy::fixed(0.05);
+        let dm = DisaggregatedMemory::new(config).unwrap();
+        let servers: Vec<ServerId> = dm.servers().to_vec();
+        let mut model: HashMap<(usize, u64), Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { server, key, len, pref } => {
+                    let value = value_for(server, key, len);
+                    dm.put_pref(servers[server], key, value.clone(), pref_of(pref)).unwrap();
+                    model.insert((server, key), value);
+                }
+                Op::PutBatch { server, base, count } => {
+                    let batch: Vec<(u64, Vec<u8>)> = (0..count as u64)
+                        .map(|i| (base + i, value_for(server, base + i, 512 + i as usize)))
+                        .collect();
+                    for (k, v) in &batch {
+                        model.insert((server, *k), v.clone());
+                    }
+                    dm.put_batch(servers[server], batch, TierPreference::Auto).unwrap();
+                }
+                Op::Get { server, key } => {
+                    let got = dm.get(servers[server], key).ok();
+                    prop_assert_eq!(
+                        got.as_ref(),
+                        model.get(&(server, key)),
+                        "get({}, {}) diverged", server, key
+                    );
+                }
+                Op::Delete { server, key } => {
+                    let deleted = dm.delete(servers[server], key).is_ok();
+                    let existed = model.remove(&(server, key)).is_some();
+                    prop_assert_eq!(deleted, existed, "delete({}, {}) diverged", server, key);
+                }
+            }
+        }
+        // Closing audit: every model entry readable with exact contents,
+        // and the system tracks exactly the model's population.
+        for ((server, key), value) in &model {
+            let got = dm.get(servers[*server], *key).unwrap();
+            prop_assert_eq!(&got, value);
+        }
+        prop_assert_eq!(dm.stats().entries, model.len());
+    }
+
+    #[test]
+    fn model_holds_through_crash_repair_cycles(
+        ops in proptest::collection::vec(op_strategy(), 1..30),
+        crash_node in 1u32..4,
+    ) {
+        use memory_disaggregation::sim::FailureEvent;
+        // Remote-only cluster: every entry is triple-replicated, so one
+        // crash + repair cycle must never lose data owned by other nodes.
+        let mut config = ClusterConfig::small();
+        config.nodes = 6;
+        config.group_size = 6;
+        config.server.donation = DonationPolicy::fixed(0.0);
+        let dm = DisaggregatedMemory::new(config).unwrap();
+        let servers: Vec<ServerId> = dm.servers().to_vec();
+        let mut model: HashMap<(usize, u64), Vec<u8>> = HashMap::new();
+
+        // Only exercise servers on node 0, then crash a *different* node.
+        for op in ops {
+            match op {
+                Op::Put { key, len, .. } => {
+                    let value = value_for(0, key, len);
+                    dm.put(servers[0], key, value.clone()).unwrap();
+                    model.insert((0, key), value);
+                }
+                Op::PutBatch { base, count, .. } => {
+                    let batch: Vec<(u64, Vec<u8>)> = (0..count as u64)
+                        .map(|i| (base + i, value_for(0, base + i, 256)))
+                        .collect();
+                    for (k, v) in &batch {
+                        model.insert((0, *k), v.clone());
+                    }
+                    dm.put_batch(servers[0], batch, TierPreference::Auto).unwrap();
+                }
+                Op::Get { key, .. } => {
+                    let got = dm.get(servers[0], key).ok();
+                    prop_assert_eq!(got.as_ref(), model.get(&(0, key)));
+                }
+                Op::Delete { key, .. } => {
+                    let deleted = dm.delete(servers[0], key).is_ok();
+                    prop_assert_eq!(deleted, model.remove(&(0, key)).is_some());
+                }
+            }
+        }
+
+        let victim = NodeId::new(crash_node);
+        dm.failures().inject_now(FailureEvent::NodeDown(victim));
+        dm.failures().inject_now(FailureEvent::NodeUp(victim));
+        dm.handle_node_restart(victim).unwrap();
+        dm.repair_replicas();
+
+        for ((_, key), value) in &model {
+            let got = dm.get(servers[0], *key).unwrap();
+            prop_assert_eq!(&got, value, "entry {} lost through crash/repair", key);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-system swap integration: the orderings every figure relies on.
+
+use memory_disaggregation::prelude::*;
+use memory_disaggregation::swap::{run_kv_throughput, SystemKind};
+use memory_disaggregation::types::DistributionRatio;
+
+fn fastswap(ratio: DistributionRatio) -> SystemKind {
+    SystemKind::FastSwap {
+        ratio,
+        compression: CompressionMode::FourGranularity,
+        pbs: true,
+    }
+}
+
+#[test]
+fn fig7_ordering_holds_for_all_five_workloads() {
+    let scale = SwapScale::small();
+    for workload in ["PageRank", "LogisticRegression", "TunkRank", "KMeans", "SVM"] {
+        let linux = run_ml_workload(SystemKind::Linux, workload, &scale).unwrap();
+        let inf = run_ml_workload(SystemKind::Infiniswap, workload, &scale).unwrap();
+        let fast = run_ml_workload(SystemKind::fastswap_default(), workload, &scale).unwrap();
+        assert!(
+            fast.completion < inf.completion && inf.completion < linux.completion,
+            "{workload}: fast {} / inf {} / linux {}",
+            fast.completion,
+            inf.completion,
+            linux.completion
+        );
+        let speedup = linux.completion.as_nanos() as f64 / fast.completion.as_nanos() as f64;
+        assert!(
+            speedup > 10.0,
+            "{workload}: FastSwap only {speedup:.1}x over Linux"
+        );
+    }
+}
+
+#[test]
+fn fig8_throughput_monotone_in_shared_fraction() {
+    // Paper: "as the percentage of remote memory increases ... throughputs
+    // of all three applications drop accordingly."
+    let scale = SwapScale::small();
+    for workload in ["Redis", "Memcached", "VoltDB"] {
+        let mut last = f64::INFINITY;
+        for ratio in DistributionRatio::FIG8_SWEEP {
+            let (throughput, _) =
+                run_kv_throughput(fastswap(ratio), workload, &scale, 2_000).unwrap();
+            assert!(
+                throughput <= last * 1.10,
+                "{workload}: throughput rose from {last:.0} to {throughput:.0} at {ratio}"
+            );
+            last = throughput;
+        }
+    }
+}
+
+#[test]
+fn fig8_fs_sm_crushes_linux_and_beats_infiniswap() {
+    let scale = SwapScale::small();
+    let (fs_sm, _) =
+        run_kv_throughput(fastswap(DistributionRatio::FS_SM), "Redis", &scale, 2_000).unwrap();
+    let (linux, _) = run_kv_throughput(SystemKind::Linux, "Redis", &scale, 2_000).unwrap();
+    let (inf, _) = run_kv_throughput(SystemKind::Infiniswap, "Redis", &scale, 2_000).unwrap();
+    assert!(
+        fs_sm / linux > 50.0,
+        "FS-SM/Linux only {:.0}x (paper: up to 571x)",
+        fs_sm / linux
+    );
+    assert!(
+        fs_sm / inf > 2.0,
+        "FS-SM/Infiniswap only {:.1}x (paper: 11.4x)",
+        fs_sm / inf
+    );
+}
+
+#[test]
+fn fig8_fs_rdma_still_beats_infiniswap() {
+    // Even with zero node-level shared memory, FastSwap's batched and
+    // compressed remote path beats Infiniswap (paper: 3.2x on Redis).
+    let scale = SwapScale::small();
+    let (fs_rdma, _) =
+        run_kv_throughput(fastswap(DistributionRatio::FS_RDMA), "Redis", &scale, 2_000).unwrap();
+    let (inf, _) = run_kv_throughput(SystemKind::Infiniswap, "Redis", &scale, 2_000).unwrap();
+    assert!(
+        fs_rdma > inf,
+        "FS-RDMA {fs_rdma:.0} ops/s must beat Infiniswap {inf:.0} ops/s"
+    );
+}
+
+#[test]
+fn nbdx_beats_infiniswap_slightly() {
+    // Fig. 8 shows NBDX a touch ahead of Infiniswap (less block-layer
+    // overhead), both far behind FastSwap.
+    let scale = SwapScale::small();
+    let (nbdx, _) = run_kv_throughput(SystemKind::Nbdx, "Memcached", &scale, 2_000).unwrap();
+    let (inf, _) = run_kv_throughput(SystemKind::Infiniswap, "Memcached", &scale, 2_000).unwrap();
+    assert!(nbdx > inf, "NBDX {nbdx:.0} !> Infiniswap {inf:.0}");
+    assert!(nbdx < inf * 3.0, "gap implausibly wide");
+}
+
+#[test]
+fn compression_reduces_remote_bytes_and_time() {
+    // Fig. 5: enabling compression improves completion time. The win is
+    // capacity: compressed pages pack more working set into the same
+    // remote pools before anything spills to disk, so the experiment runs
+    // with pools sized tightly against the uncompressed overflow.
+    let mut scale = SwapScale::small();
+    scale.remote_pool = ByteSize::from_kib(512);
+    let with = run_ml_workload(
+        SystemKind::FastSwap {
+            ratio: DistributionRatio::FS_RDMA,
+            compression: CompressionMode::FourGranularity,
+            pbs: true,
+        },
+        "LogisticRegression",
+        &scale,
+    )
+    .unwrap();
+    let without = run_ml_workload(
+        SystemKind::FastSwap {
+            ratio: DistributionRatio::FS_RDMA,
+            compression: CompressionMode::Off,
+            pbs: true,
+        },
+        "LogisticRegression",
+        &scale,
+    )
+    .unwrap();
+    assert!(
+        with.completion < without.completion,
+        "compression on {} !< off {}",
+        with.completion,
+        without.completion
+    );
+}
+
+#[test]
+fn deterministic_runs_are_bit_identical() {
+    let scale = SwapScale::small();
+    let a = run_ml_workload(SystemKind::fastswap_default(), "KMeans", &scale).unwrap();
+    let b = run_ml_workload(SystemKind::fastswap_default(), "KMeans", &scale).unwrap();
+    assert_eq!(a.completion, b.completion);
+    assert_eq!(a.stats, b.stats);
+    let mut other = scale.clone();
+    other.seed ^= 1;
+    let c = run_ml_workload(SystemKind::fastswap_default(), "KMeans", &other).unwrap();
+    assert_ne!(a.completion, c.completion, "different seed, different run");
+}
