@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI gate: offline build, full test suite, fixed-seed chaos smoke.
+#
+# The workspace builds with no network access (all external deps are
+# path-shimmed under shims/), so `cargo fetch` is a fast no-op that fails
+# loudly if a registry dependency ever sneaks in.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fetch"
+cargo fetch
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> chaos smoke (seeds 0..32)"
+cargo run --release --quiet --bin chaos -- --seeds 0..32
+
+echo "==> ci.sh: all green"

@@ -219,6 +219,79 @@ mod tests {
         );
     }
 
+    /// Replays a skewed allocation stream (a heavy tail of large
+    /// allocations) against `strategy` with closed-loop feedback: every
+    /// placement debits the chosen node's advertised free memory, exactly
+    /// like the advertise maintenance task would. Returns the maximum
+    /// bytes loaded onto any single node.
+    fn max_load_under_skew(strategy: PlacementStrategy, seed: u64) -> u64 {
+        const NODES: u32 = 8;
+        let capacity = ByteSize::from_mib(64).as_u64();
+        let m = membership(NODES);
+        for n in 0..NODES {
+            m.advertise_free(NodeId::new(n), ByteSize::from(capacity));
+        }
+        let p = Placer::new(strategy, m.clone(), DetRng::new(seed));
+        let mut stream = DetRng::new(seed ^ 0x5EED);
+        let mut load = vec![0u64; NODES as usize];
+        for _ in 0..600 {
+            // 10% of allocations are 64x larger: the skew that load-aware
+            // policies exist to absorb (paper §IV-E).
+            let size: u64 = if stream.chance(0.1) { 1 << 20 } else { 16 << 10 };
+            let node = p.pick(&candidates(NODES), 1).unwrap()[0];
+            load[node.index() as usize] += size;
+            m.advertise_free(
+                node,
+                ByteSize::from(capacity.saturating_sub(load[node.index() as usize])),
+            );
+        }
+        load.into_iter().max().unwrap()
+    }
+
+    #[test]
+    fn power_of_two_beats_random_on_max_load() {
+        // Deterministic seeds: the comparison must hold seed-for-seed,
+        // not just on average, for several independent streams.
+        for seed in [3u64, 17, 29] {
+            let p2c = max_load_under_skew(PlacementStrategy::PowerOfTwoChoices, seed);
+            let random = max_load_under_skew(PlacementStrategy::Random, seed);
+            assert!(
+                p2c < random,
+                "seed {seed}: power-of-two max load {p2c} not below random {random}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_rr_share_tracks_advertised_ratio() {
+        // Three nodes advertising 6:3:1 free memory should receive picks
+        // in roughly that proportion (no feedback: weights held fixed).
+        let m = membership(3);
+        m.advertise_free(NodeId::new(0), ByteSize::from_mib(6));
+        m.advertise_free(NodeId::new(1), ByteSize::from_mib(3));
+        m.advertise_free(NodeId::new(2), ByteSize::from_mib(1));
+        let p = placer(PlacementStrategy::WeightedRoundRobin, &m);
+        let mut counts = [0usize; 3];
+        const TRIALS: usize = 1000;
+        for _ in 0..TRIALS {
+            counts[p.pick(&candidates(3), 1).unwrap()[0].index() as usize] += 1;
+        }
+        let share = |i: usize| counts[i] as f64 / TRIALS as f64;
+        assert!(
+            (0.5..0.7).contains(&share(0)),
+            "6/10 node got {:.2}", share(0)
+        );
+        assert!(
+            (0.2..0.4).contains(&share(1)),
+            "3/10 node got {:.2}", share(1)
+        );
+        assert!(
+            (0.05..0.15).contains(&share(2)),
+            "1/10 node got {:.2}", share(2)
+        );
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+    }
+
     #[test]
     fn random_is_roughly_uniform() {
         let m = membership(4);

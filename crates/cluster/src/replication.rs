@@ -194,13 +194,23 @@ impl Replicator {
         }
     }
 
-    /// Counts how many replicas still hold the entry.
+    /// Counts how many *distinct* replicas still hold the entry.
+    ///
+    /// Distinctness matters: a replica list that ends up mentioning the
+    /// same node twice (however it got that way) provides one copy of
+    /// redundancy, not two, and counting it twice would mask a degraded
+    /// entry from the repair scan.
     pub fn live_degree(&self, entry: EntryId, replicas: &ReplicaSet) -> usize {
-        replicas
-            .nodes
-            .iter()
-            .filter(|&&n| self.membership().is_alive(n) && self.store.hosts_entry(n, entry))
-            .count()
+        let mut counted: Vec<NodeId> = Vec::with_capacity(replicas.nodes.len());
+        for &node in &replicas.nodes {
+            if !counted.contains(&node)
+                && self.membership().is_alive(node)
+                && self.store.hosts_entry(node, entry)
+            {
+                counted.push(node);
+            }
+        }
+        counted.len()
     }
 
     /// Restores a degraded replica set back to full degree: reads the
@@ -369,6 +379,57 @@ mod tests {
             rep.load_replicated(NodeId::new(0), entry(1), &repaired).unwrap(),
             vec![3u8; 128]
         );
+    }
+
+    #[test]
+    fn re_replicate_picks_live_non_duplicate_host() {
+        // A replica host dies for good (no restart). The repaired set must
+        // be back at factor with a replacement that is (a) not the dead
+        // node, (b) not a duplicate of a survivor, (c) alive, and (d) a
+        // legal placement candidate (never the writing node itself).
+        let (failures, store, rep) = setup(6);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[8u8; 128], None)
+            .unwrap();
+        let victim = set.nodes[0];
+        failures.inject_now(FailureEvent::NodeDown(victim));
+
+        let repaired = rep.re_replicate(NodeId::new(0), entry(1), &set).unwrap();
+        assert_eq!(repaired.degree(), rep.factor().get());
+        let distinct: std::collections::HashSet<_> = repaired.nodes.iter().collect();
+        assert_eq!(distinct.len(), repaired.degree(), "duplicates in {repaired:?}");
+        assert!(
+            !repaired.nodes.contains(&victim),
+            "repair re-used dead node {victim}: {repaired:?}"
+        );
+        assert!(
+            !repaired.nodes.contains(&NodeId::new(0)),
+            "repair placed a replica on the writer: {repaired:?}"
+        );
+        for &n in &repaired.nodes {
+            assert!(rep.membership().is_alive(n), "{n} is not alive");
+            assert!(store.hosts_entry(n, entry(1)), "{n} holds no copy");
+        }
+        // The survivors were kept — repair copies once, not three times.
+        for &n in &set.nodes {
+            if n != victim {
+                assert!(repaired.nodes.contains(&n), "survivor {n} was dropped");
+            }
+        }
+    }
+
+    #[test]
+    fn live_degree_counts_distinct_replicas_once() {
+        let (_, _, rep) = setup(6);
+        let set = rep
+            .store_replicated(NodeId::new(0), entry(1), &[1u8; 32], None)
+            .unwrap();
+        // A corrupted list mentioning one host twice is one copy of
+        // redundancy, not two.
+        let duplicated = ReplicaSet {
+            nodes: vec![set.nodes[0], set.nodes[0], set.nodes[1]],
+        };
+        assert_eq!(rep.live_degree(entry(1), &duplicated), 2);
     }
 
     #[test]

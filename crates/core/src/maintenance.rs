@@ -124,6 +124,13 @@ impl Maintenance {
     /// Runs every task due up to `until`, advancing the clock to each
     /// task's scheduled time (like an idle node agent waking on timers).
     ///
+    /// Every window closes with one extra repair scan (when repair is
+    /// enabled): eviction migrations late in the window can lower an
+    /// entry's replica degree after the last interval-scheduled repair
+    /// ran, and the closing scan guarantees no window ever ends with a
+    /// repairable entry still degraded. The chaos harness checks exactly
+    /// this bound.
+    ///
     /// # Errors
     ///
     /// Propagates eviction-scan failures; repair failures are per-entry
@@ -187,6 +194,10 @@ impl Maintenance {
                     }
                 }
             }
+        }
+        if !self.config.repair_interval.is_zero() {
+            report.repair_scans += 1;
+            report.repaired_entries += self.dm.repair_replicas() as u64;
         }
         Ok(report)
     }
@@ -283,6 +294,43 @@ mod tests {
         // Everything stays readable after background migration.
         for key in 0..12 {
             assert_eq!(dm.get(server, key).unwrap(), vec![key as u8; 4096]);
+        }
+    }
+
+    #[test]
+    fn repair_picks_live_non_duplicate_hosts_after_permanent_loss() {
+        // A replica host dies and never comes back. The repair scan must
+        // restore full degree using a fresh host: alive, not the corpse,
+        // and not a duplicate of a surviving replica.
+        let dm = remote_cluster();
+        let server = dm.servers()[0];
+        for key in 0..4 {
+            dm.put(server, key, vec![key as u8; 1024]).unwrap();
+        }
+        let victim = match &dm.record(server, 0).unwrap().location {
+            EntryLocation::Remote { replicas } => replicas[0],
+            other => panic!("expected remote, got {other:?}"),
+        };
+        dm.failures().inject_now(FailureEvent::NodeDown(victim));
+
+        let mut m = driver(&dm, 1);
+        m.run_until(dm.clock().now() + SimDuration::from_secs(1))
+            .unwrap();
+        for key in 0..4 {
+            if let EntryLocation::Remote { replicas } = &dm.record(server, key).unwrap().location {
+                assert_eq!(replicas.len(), 3, "key {key}: {replicas:?}");
+                let distinct: std::collections::HashSet<_> = replicas.iter().collect();
+                assert_eq!(distinct.len(), 3, "key {key} duplicates: {replicas:?}");
+                assert!(
+                    !replicas.contains(&victim),
+                    "key {key} still references dead {victim}: {replicas:?}"
+                );
+                for &n in replicas {
+                    assert!(dm.membership().is_alive(n), "key {key}: {n} not alive");
+                }
+            }
+            // Fail-over reads keep working with the victim gone.
+            assert_eq!(dm.get(server, key).unwrap(), vec![key as u8; 1024]);
         }
     }
 

@@ -64,11 +64,17 @@ impl MemoryMap {
     pub fn relocate_replica(&mut self, key: u64, from: NodeId, to: NodeId) -> bool {
         if let Some(record) = self.entries.get_mut(&key) {
             if let EntryLocation::Remote { replicas } = &mut record.location {
-                for n in replicas.iter_mut() {
-                    if *n == from {
-                        *n = to;
-                        return true;
+                if let Some(slot) = replicas.iter().position(|&n| n == from) {
+                    if replicas.contains(&to) {
+                        // `to` is already listed — typically a node that
+                        // crashed, lost its copy, and just got refilled by
+                        // this migration. Collapse instead of duplicating;
+                        // the repair scan restores the lost degree.
+                        replicas.remove(slot);
+                    } else {
+                        replicas[slot] = to;
                     }
+                    return true;
                 }
             }
         }
@@ -173,6 +179,26 @@ mod tests {
         // Unknown key or host: no-op.
         assert!(!map.relocate_replica(5, NodeId::new(2), NodeId::new(8)));
         assert!(!map.relocate_replica(99, NodeId::new(1), NodeId::new(8)));
+    }
+
+    #[test]
+    fn relocate_replica_never_duplicates_destination() {
+        let mut map = MemoryMap::new();
+        map.upsert(
+            5,
+            record(EntryLocation::Remote {
+                replicas: vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            }),
+        );
+        // Migrating node-2's copy onto node-3 (already listed) must
+        // collapse the slot, not list node-3 twice.
+        assert!(map.relocate_replica(5, NodeId::new(2), NodeId::new(3)));
+        match &map.get(5).unwrap().location {
+            EntryLocation::Remote { replicas } => {
+                assert_eq!(replicas, &vec![NodeId::new(1), NodeId::new(3)]);
+            }
+            other => panic!("unexpected location {other:?}"),
+        }
     }
 
     #[test]

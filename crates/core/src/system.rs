@@ -770,6 +770,30 @@ impl DisaggregatedMemory {
         self.maps.lock().get(&server).and_then(|m| m.get(key).cloned())
     }
 
+    /// The replication manager, exposed so invariant checkers can probe
+    /// live replica degree without re-deriving cluster state.
+    pub fn replicator(&self) -> &Replicator {
+        &self.replicator
+    }
+
+    /// A point-in-time copy of every tracked entry across all memory
+    /// maps, as `(owner, key, record)` triples sorted by owner and key.
+    ///
+    /// This is the invariant-probe API: external checkers (the chaos
+    /// harness, debugging tools) sweep the whole map without holding the
+    /// map lock across their own per-entry work.
+    pub fn entries_snapshot(&self) -> Vec<(ServerId, u64, EntryRecord)> {
+        let maps = self.maps.lock();
+        let mut out: Vec<(ServerId, u64, EntryRecord)> = maps
+            .iter()
+            .flat_map(|(server, map)| {
+                map.iter().map(move |(key, record)| (*server, key, record.clone()))
+            })
+            .collect();
+        out.sort_by_key(|(server, key, _)| (*server, *key));
+        out
+    }
+
     /// Runs one eviction scan (§IV-F) and applies the resulting moves to
     /// every affected memory map.
     ///

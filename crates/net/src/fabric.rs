@@ -256,6 +256,16 @@ impl Fabric {
         Ok(())
     }
 
+    /// Whether RDMA traffic can flow between `a` and `b` right now:
+    /// both endpoints up and the link between them intact.
+    ///
+    /// This is the reachability query the chaos harness uses to decide
+    /// whether a replica *should* be readable before asserting that a
+    /// get succeeds.
+    pub fn is_path_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.check_path(a, b).is_ok()
+    }
+
     fn check_path(&self, a: NodeId, b: NodeId) -> DmemResult<()> {
         if !self.failures.is_node_up(a) {
             return Err(DmemError::NodeUnavailable(a));

@@ -6,7 +6,6 @@
 //! calibrated to its testbed: 56 Gbps InfiniBand and 7.2K rpm SATA disks.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cost model of a single device or transport: `base + bytes / bandwidth`.
@@ -23,7 +22,7 @@ use std::fmt;
 /// let batch = rdma.transfer(32 * 4096);
 /// assert!(batch < one_page * 32);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceCost {
     /// Fixed per-operation latency.
     pub base: SimDuration,
@@ -89,7 +88,7 @@ impl fmt::Display for DeviceCost {
 }
 
 /// The full latency hierarchy used by the simulated cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Local DRAM access within a virtual server.
     pub dram: DeviceCost,

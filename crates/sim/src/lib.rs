@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod cost;
 pub mod events;
@@ -41,6 +42,7 @@ pub mod metrics;
 pub mod rng;
 pub mod time;
 
+pub use chaos::{ChaosConfig, ChaosSchedule, ChaosStep};
 pub use clock::SimClock;
 pub use cost::{CostModel, DeviceCost};
 pub use events::EventQueue;

@@ -1,6 +1,5 @@
 //! Virtual time newtypes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
@@ -17,8 +16,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(SimDuration::from_millis(1) / SimDuration::from_micros(10), 100);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, )]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -163,8 +161,7 @@ impl fmt::Display for SimDuration {
 
 /// A point in virtual time (nanoseconds since simulation start).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, )]
 pub struct SimInstant(u64);
 
 impl SimInstant {

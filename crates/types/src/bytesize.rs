@@ -1,6 +1,5 @@
 //! Byte-size arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -32,9 +31,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
     Ord,
     Hash,
     Default,
-    Serialize,
-    Deserialize,
-)]
+    )]
 pub struct ByteSize(u64);
 
 impl ByteSize {

@@ -5,13 +5,12 @@
 //! the caller to laptop-sized simulations.
 
 use crate::{ByteSize, DmemError, DmemResult, SizeClass};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How much of its allocated memory a virtual server donates to the node
 /// shared-memory pool (paper §IV-F: "It could be 10% initially and
 /// proactively increase to 40% or reduce to zero").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DonationPolicy {
     /// Fraction donated at initialization.
     pub initial: f64,
@@ -68,7 +67,7 @@ impl Default for DonationPolicy {
 }
 
 /// Replica-set placement policy for remote writes (paper §IV-E).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlacementStrategy {
     /// Uniform random choice among candidates.
     Random,
@@ -97,7 +96,7 @@ impl fmt::Display for PlacementStrategy {
 /// Number of replicas for each remote data entry.
 ///
 /// The paper adopts HDFS-style triple replica modularity (§IV-D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReplicationFactor(usize);
 
 impl ReplicationFactor {
@@ -139,7 +138,7 @@ impl fmt::Display for ReplicationFactor {
 }
 
 /// Page-compression mode (paper §IV-H / Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompressionMode {
     /// No compression: every page stored as a full 4 KiB.
     Off,
@@ -182,7 +181,7 @@ impl fmt::Display for CompressionMode {
 ///
 /// The value is the fraction of swap traffic served by the node-coordinated
 /// shared memory pool; the remainder goes to remote memory over RDMA.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistributionRatio(f64);
 
 impl DistributionRatio {
@@ -250,7 +249,7 @@ impl fmt::Display for DistributionRatio {
 }
 
 /// Swap-in strategy (paper §IV-H / Fig. 6 & 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SwapInMode {
     /// Fetch exactly the faulted page (Infiniswap/Linux behaviour).
     Demand,
@@ -288,7 +287,7 @@ impl fmt::Display for SwapInMode {
 }
 
 /// Per-virtual-server configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// DRAM allocated to the server at initialization (fixed for its
     /// lifetime, as the paper observes is standard practice).
@@ -323,7 +322,7 @@ impl ServerConfig {
 }
 
 /// Per-node configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
     /// Physical DRAM on the node.
     pub dram: ByteSize,
@@ -336,7 +335,6 @@ pub struct NodeConfig {
     pub recv_pool: ByteSize,
     /// Byte-addressable NVM installed on the node (the §VI emerging-memory
     /// tier; zero disables it). NVM is its own device, not part of DRAM.
-    #[serde(default)]
     pub nvm_pool: ByteSize,
 }
 
@@ -380,7 +378,7 @@ impl Default for NodeConfig {
 }
 
 /// Whole-cluster configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of physical nodes.
     pub nodes: usize,

@@ -4,7 +4,6 @@
 //! virtual servers, memory slabs, RDMA resources, data entries — is named by
 //! a newtype so that the compiler rules out cross-wiring (C-NEWTYPE).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a physical node (machine) in the cluster.
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert_eq!(a.to_string(), "node-0");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct NodeId(u32);
 
@@ -61,7 +60,7 @@ impl From<u32> for NodeId {
 /// assert_eq!(s.local_index(), 5);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ServerId {
     node: NodeId,
@@ -93,7 +92,7 @@ impl fmt::Display for ServerId {
 
 /// Identifier of a 4 KiB page within a virtual server's address space.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct PageId(u64);
 
@@ -124,7 +123,7 @@ impl From<u64> for PageId {
 /// Identifier of a memory slab inside a shared-memory pool or an
 /// RDMA-registered buffer pool.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SlabId(u64);
 
@@ -163,7 +162,7 @@ impl fmt::Display for SlabId {
 /// assert_eq!(e.key(), 42);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct EntryId {
     owner: ServerId,
@@ -196,7 +195,7 @@ impl fmt::Display for EntryId {
 /// Identifier of a node group in the hierarchical group-sharing model
 /// (paper §IV-C).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct GroupId(u32);
 
@@ -220,7 +219,7 @@ impl fmt::Display for GroupId {
 
 /// Identifier of a registered RDMA memory region.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct MrId(u64);
 
@@ -244,7 +243,7 @@ impl fmt::Display for MrId {
 
 /// Identifier of a simulated RDMA queue pair.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct QpId(u64);
 
@@ -315,10 +314,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn entry_id_display_identifies_owner_and_key() {
         let e = EntryId::new(ServerId::new(NodeId::new(4), 2), 77);
-        let json = serde_json::to_string(&e).unwrap();
-        let back: EntryId = serde_json::from_str(&json).unwrap();
-        assert_eq!(e, back);
+        let text = e.to_string();
+        assert!(text.contains("#77"), "key missing from {text}");
+        assert_ne!(
+            text,
+            EntryId::new(ServerId::new(NodeId::new(4), 3), 77).to_string(),
+            "distinct owners must render distinctly"
+        );
     }
 }

@@ -1,15 +1,13 @@
 //! Data-entry locations and the records kept in disaggregated memory maps.
 
 use crate::{ByteSize, NodeId, SlabId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The storage size classes used by FastSwap's multi-granularity page
 /// compression (paper §IV-H): a compressed 4 KiB page is stored in the
 /// smallest class that fits it.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, )]
 pub enum SizeClass {
     /// 512-byte class.
     C512,
@@ -77,7 +75,7 @@ impl fmt::Display for SizeClass {
 /// This is the per-entry metadata that the paper's scalability analysis
 /// (§IV-C) sizes at ~8 bytes per 4 KiB entry; our richer representation is
 /// still small and the group-size ablation reproduces the arithmetic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EntryLocation {
     /// In the node-coordinated shared memory pool of the owner's node.
     NodeShared {
@@ -143,7 +141,7 @@ impl fmt::Display for EntryLocation {
 
 /// A full record in a virtual server's disaggregated memory map: location
 /// plus the metadata needed to read the entry back.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EntryRecord {
     /// Where the entry lives.
     pub location: EntryLocation,

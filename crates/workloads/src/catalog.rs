@@ -9,10 +9,9 @@
 //! compress best.
 
 use dmem_types::ByteSize;
-use serde::{Deserialize, Serialize};
 
 /// What kind of application a profile models.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AppKind {
     /// Iterative ML / graph analytics: repeated sweeps over the working
     /// set (the Fig. 3-7 and Fig. 10 workloads).
@@ -28,7 +27,7 @@ pub enum AppKind {
 }
 
 /// One application's model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Application name as the paper uses it.
     pub name: &'static str,

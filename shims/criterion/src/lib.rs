@@ -1,0 +1,257 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal wall-clock bench harness with criterion's API shape:
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It reports
+//! mean ns/iter (and derived throughput) to stdout — no statistics
+//! beyond that, no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one iteration processes, for derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Measures one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// (total duration, iterations) of the measured run.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up briefly, then scale iterations to a ~10 ms floor so
+        // cheap routines aren't drowned by timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+                let scaled = iters.saturating_mul(self.sample_size as u64 / 10 + 1);
+                let start = Instant::now();
+                for _ in 0..scaled {
+                    black_box(routine());
+                }
+                self.measured = Some((start.elapsed(), scaled));
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = self.sample_size.max(10) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(name: &str, measured: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = measured else {
+        println!("{name}: no measurement");
+        return;
+    };
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            format!(" ({mib_s:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (ns_per_iter / 1e9);
+            format!(" ({elem_s:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!("{name}: {ns_per_iter:.0} ns/iter{rate} [{iters} iters]");
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.into()),
+            bencher.measured,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark; this is a no-op).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        report(&id.into(), bencher.measured, None);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions as one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("direct", |b| b.iter(|| black_box(2) * 2));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(10);
+        targets = smoke_target
+    }
+
+    #[test]
+    fn configured_group_macro_runs() {
+        configured();
+    }
+}

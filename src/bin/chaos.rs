@@ -1,0 +1,83 @@
+//! Seeded chaos runner.
+//!
+//! Runs the deterministic chaos harness over one seed or a seed range and
+//! exits nonzero on the first invariant violation, printing the seed, the
+//! violated invariant, and the minimal failing event prefix.
+//!
+//! ```text
+//! cargo run --bin chaos -- --seeds 0..32
+//! cargo run --bin chaos -- --seed 0x2a --steps 200
+//! ```
+
+use memory_disaggregation::chaos::{run_seed, ChaosSettings};
+use memory_disaggregation::sim::ChaosConfig;
+use std::process::ExitCode;
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("not a number: {text}"))
+}
+
+fn usage() -> String {
+    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N]".to_string()
+}
+
+fn run() -> Result<bool, String> {
+    let mut config = ChaosConfig::default();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--seed" => seeds.push(parse_u64(&value("--seed")?)?),
+            "--seeds" => {
+                let spec = value("--seeds")?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or(format!("--seeds wants A..B, got {spec}"))?;
+                let (a, b) = (parse_u64(a)?, parse_u64(b)?);
+                if a >= b {
+                    return Err(format!("empty seed range {spec}"));
+                }
+                seeds.extend(a..b);
+            }
+            "--steps" => config.steps = parse_u64(&value("--steps")?)? as usize,
+            "--keys" => config.keys = parse_u64(&value("--keys")?)?,
+            "--nodes" => config.nodes = parse_u64(&value("--nodes")?)? as usize,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if seeds.is_empty() {
+        seeds.extend(0..8);
+    }
+
+    let settings = ChaosSettings::default();
+    let mut all_clean = true;
+    for seed in seeds {
+        match run_seed(seed, &config, &settings) {
+            Ok(stats) => println!("seed {seed:#x}: ok ({stats})"),
+            Err(report) => {
+                all_clean = false;
+                println!("seed {seed:#x}: FAILED");
+                println!("{report}");
+            }
+        }
+    }
+    Ok(all_clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -47,6 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 pub use dmem_cluster as cluster;
 pub use dmem_compress as compress;
 pub use dmem_kv as kv;

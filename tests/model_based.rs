@@ -3,10 +3,36 @@
 //! sequences. Whatever the tiering, compression, batching, placement and
 //! eviction machinery do internally, the observable key-value behaviour
 //! must match a `HashMap`.
+//!
+//! # Determinism
+//!
+//! Every case is derived from `(base seed, test name, case index)`, so a
+//! run is bit-for-bit reproducible. The base seed is pinned to
+//! [`MODEL_SEED`] below; `DMEM_PROPTEST_SEED=<decimal or 0x-hex>` on the
+//! environment overrides it (that is what a failure banner's replay line
+//! sets). There is no `proptest-regressions` persistence file: the runner
+//! never reads or writes one, so historical shrunk cases are promoted to
+//! explicit `#[test]`s here instead (see `regression_*` below).
 
 use memory_disaggregation::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// Base RNG seed for this suite. Changing it changes every generated
+/// case; bump it deliberately (and note why) rather than accidentally.
+const MODEL_SEED: u64 = 0x5EED_D15A_0661_0001;
+
+/// Suite config: explicit case count, pinned seed, env override wins.
+fn model_config(cases: u32) -> ProptestConfig {
+    // `with_cases` already absorbed `DMEM_PROPTEST_SEED` if it was set;
+    // only pin MODEL_SEED when no override is present.
+    let config = ProptestConfig::with_cases(cases);
+    if std::env::var_os("DMEM_PROPTEST_SEED").is_some() {
+        config
+    } else {
+        config.seed(MODEL_SEED)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -50,8 +76,25 @@ fn value_for(server: usize, key: u64, len: usize) -> Vec<u8> {
         .collect()
 }
 
+/// Promoted from the old `model_based.proptest-regressions` file: a
+/// single pinned-tier put of 4097 bytes (one byte past the 4 KiB slab
+/// class) once diverged from the model. Kept as an explicit test so the
+/// case survives without a persistence file.
+#[test]
+fn regression_single_nodeshared_put_just_over_4k() {
+    let mut config = ClusterConfig::small();
+    config.node.recv_pool = ByteSize::from_kib(128);
+    config.server.donation = DonationPolicy::fixed(0.05);
+    let dm = DisaggregatedMemory::new(config).unwrap();
+    let server = dm.servers()[0];
+    let value = value_for(0, 0, 4097);
+    dm.put_pref(server, 0, value.clone(), pref_of(1)).unwrap();
+    assert_eq!(dm.get(server, 0).unwrap(), value);
+    assert_eq!(dm.stats().entries, 1);
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(model_config(24))]
 
     #[test]
     fn system_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
