@@ -1,23 +1,38 @@
 #!/usr/bin/env sh
-# CI gate: offline build, full test suite, fixed-seed chaos smoke.
+# CI gate: offline build, full test suite, fixed-seed chaos smoke, and a
+# wall-clock perf smoke.
 #
 # The workspace builds with no network access (all external deps are
 # path-shimmed under shims/), so `cargo fetch` is a fast no-op that fails
 # loudly if a registry dependency ever sneaks in.
+#
+# Every step is timed so slowdowns are visible in the CI log itself.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "==> cargo fetch"
-cargo fetch
+step() {
+    name="$1"
+    shift
+    echo "==> $name"
+    t0=$(date +%s)
+    "$@"
+    echo "==> $name: done in $(( $(date +%s) - t0 ))s"
+}
 
-echo "==> cargo build --release"
-cargo build --release
+step "cargo fetch" cargo fetch
 
-echo "==> cargo test -q"
-cargo test -q
+step "cargo build --release" cargo build --release
 
-echo "==> chaos smoke (seeds 0..32)"
-cargo run --release --quiet --bin chaos -- --seeds 0..32
+step "cargo test -q" cargo test -q
+
+step "chaos smoke (seeds 0..32)" \
+    cargo run --release --quiet --bin chaos -- --seeds 0..32
+
+# Perf smoke: quick variants of the three wall-clock scenarios, compared
+# against the checked-in baseline with a 3x tolerance — catches gross
+# algorithmic regressions, not percent-level noise.
+step "perf smoke (3x tolerance)" \
+    cargo run --release --quiet -p dmem-bench --bin perf -- --quick --check results/BENCH_perf_baseline.json
 
 echo "==> ci.sh: all green"

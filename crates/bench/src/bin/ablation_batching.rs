@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ablation_batching`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_net::{BatchSender, Fabric};
 use dmem_sim::{CostModel, FailureInjector, SimClock};
 use dmem_types::{ByteSize, NodeId};
@@ -25,24 +25,31 @@ fn main() {
         &header_refs,
     );
 
-    for m in messages {
+    let grid: Vec<(usize, usize)> = messages
+        .into_iter()
+        .flat_map(|m| windows.into_iter().map(move |d| (m, d)))
+        .collect();
+    let elapsed = par_map(grid, |_, (m, d)| {
+        let clock = SimClock::new();
+        let failures = FailureInjector::new(clock.clone());
+        let fabric = Fabric::new(clock.clone(), CostModel::paper_default(), failures);
+        let mr = fabric
+            .register(NodeId::new(1), ByteSize::from(d * m))
+            .unwrap();
+        let qp = fabric.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let mut sender = BatchSender::new(qp, mr, d, m);
+        sender.set_region_capacity((d * m) as u64);
+        let t0 = clock.now();
+        for _ in 0..VOLUME / m {
+            sender.push(&fabric, vec![7u8; m]).unwrap();
+        }
+        sender.flush(&fabric).unwrap();
+        clock.now() - t0
+    });
+    for (row_idx, m) in messages.into_iter().enumerate() {
         let mut cells = vec![ByteSize::from(m).to_string()];
-        for d in windows {
-            let clock = SimClock::new();
-            let failures = FailureInjector::new(clock.clone());
-            let fabric = Fabric::new(clock.clone(), CostModel::paper_default(), failures);
-            let mr = fabric
-                .register(NodeId::new(1), ByteSize::from(d * m))
-                .unwrap();
-            let qp = fabric.connect(NodeId::new(0), NodeId::new(1)).unwrap();
-            let mut sender = BatchSender::new(qp, mr, d, m);
-            sender.set_region_capacity((d * m) as u64);
-            let t0 = clock.now();
-            for _ in 0..VOLUME / m {
-                sender.push(&fabric, vec![7u8; m]).unwrap();
-            }
-            sender.flush(&fabric).unwrap();
-            cells.push(format!("{}", clock.now() - t0));
+        for col in 0..windows.len() {
+            cells.push(format!("{}", elapsed[row_idx * windows.len() + col]));
         }
         table.row(cells);
     }

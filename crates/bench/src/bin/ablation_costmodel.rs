@@ -15,7 +15,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ablation_costmodel`
 
-use dmem_bench::{speedup, Table};
+use dmem_bench::{par_map, speedup, Table};
 use dmem_sim::SimDuration;
 use dmem_swap::{run_ml_workload, SwapScale, SystemKind};
 
@@ -24,12 +24,16 @@ fn main() {
         "Ablation — compute intensity vs system orderings (KMeans @50%)",
         &["compute/access", "Linux", "Infiniswap", "FastSwap", "FS vs Linux", "FS vs Inf"],
     );
-    for micros in [1u64, 2, 6, 20, 60] {
+    let sweep = [1u64, 2, 6, 20, 60];
+    let results = par_map(sweep.to_vec(), |_, micros| {
         let mut scale = SwapScale::bench();
         scale.compute_per_access = SimDuration::from_micros(micros);
         let linux = run_ml_workload(SystemKind::Linux, "KMeans", &scale).unwrap();
         let inf = run_ml_workload(SystemKind::Infiniswap, "KMeans", &scale).unwrap();
         let fast = run_ml_workload(SystemKind::fastswap_default(), "KMeans", &scale).unwrap();
+        (linux, inf, fast)
+    });
+    for (micros, (linux, inf, fast)) in sweep.into_iter().zip(results) {
         assert!(
             fast.completion <= inf.completion && inf.completion <= linux.completion,
             "ordering must hold at {micros}us"

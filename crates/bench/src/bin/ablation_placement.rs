@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ablation_placement`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_cluster::{ClusterMembership, Placer, RemoteStore};
 use dmem_net::Fabric;
 use dmem_sim::{CostModel, DetRng, FailureInjector, SimClock};
@@ -52,13 +52,14 @@ fn main() {
         "Ablation — placement policy vs memory imbalance (16 nodes, 2000 single-replica writes)",
         &["policy", "max/mean load", "coefficient of variation"],
     );
-    for strategy in [
+    let strategies = [
         PlacementStrategy::Random,
         PlacementStrategy::RoundRobin,
         PlacementStrategy::WeightedRoundRobin,
         PlacementStrategy::PowerOfTwoChoices,
-    ] {
-        let (peak, cv) = imbalance(strategy);
+    ];
+    let results = par_map(strategies.to_vec(), |_, strategy| imbalance(strategy));
+    for (strategy, (peak, cv)) in strategies.into_iter().zip(results) {
         table.row([
             strategy.to_string(),
             format!("{peak:.3}"),

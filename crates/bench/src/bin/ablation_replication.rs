@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ablation_replication`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_core::{DisaggregatedMemory, TierPreference};
 use dmem_sim::{DetRng, FailureEvent};
 use rand::RngCore;
@@ -79,8 +79,9 @@ fn main() {
         "Ablation — replication degree: cost vs availability (8 nodes, 2 crashed)",
         &["replicas", "write time (200 pages)", "storage amplification", "readable after 2 crashes"],
     );
-    for factor in [1, 2, 3] {
-        let (write_ms, amplification, availability) = run(factor);
+    let factors = [1usize, 2, 3];
+    let results = par_map(factors.to_vec(), |_, factor| run(factor));
+    for (factor, (write_ms, amplification, availability)) in factors.into_iter().zip(results) {
         table.row([
             format!("r={factor}"),
             format!("{write_ms:.2} ms"),

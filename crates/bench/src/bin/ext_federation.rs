@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ext_federation`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_cluster::{
     ClusterMembership, Federation, GroupTable, LeaderElection, Placer, RemoteStore, Replicator,
 };
@@ -139,8 +139,9 @@ fn main() {
         "Extension — flat grouping vs two-tier federation under group-local exhaustion",
         &["configuration", "pages in remote memory", "pages spilled to disk", "time for 64 pages"],
     );
-    for (label, fed) in [("flat groups", false), ("two-tier federation", true)] {
-        let (remote, spilled, ms) = run(fed);
+    let configs = [("flat groups", false), ("two-tier federation", true)];
+    let results = par_map(configs.to_vec(), |_, (_, fed)| run(fed));
+    for ((label, _), (remote, spilled, ms)) in configs.into_iter().zip(results) {
         table.row([
             label.to_owned(),
             remote.to_string(),

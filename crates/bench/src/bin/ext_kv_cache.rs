@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ext_kv_cache`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_core::DisaggregatedMemory;
 use dmem_kv::KvCache;
 use dmem_sim::{CostModel, DetRng, SimDuration};
@@ -66,9 +66,13 @@ fn main() {
         "Extension — KV cache: drop-cold vs disaggregated-memory overflow (zipf reads)",
         &["hot set", "drop-cold ops/s", "drop-cold DB fetches", "disaggregated ops/s", "disaggregated DB fetches", "speedup"],
     );
-    for hot_kib in [64u64, 128, 256, 512] {
-        let (drop_tput, drop_miss) = run(hot_kib, true);
-        let (dm_tput, dm_miss) = run(hot_kib, false);
+    let hot_sizes = [64u64, 128, 256, 512];
+    let results = par_map(hot_sizes.to_vec(), |_, hot_kib| {
+        (run(hot_kib, true), run(hot_kib, false))
+    });
+    for (hot_kib, ((drop_tput, drop_miss), (dm_tput, dm_miss))) in
+        hot_sizes.into_iter().zip(results)
+    {
         table.row([
             ByteSize::from_kib(hot_kib).to_string(),
             format!("{drop_tput:.0}"),

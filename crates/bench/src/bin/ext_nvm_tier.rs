@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ext_nvm_tier`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_core::{DisaggregatedMemory, TierPreference};
 use dmem_sim::CostModel;
 use dmem_types::{ByteSize, ClusterConfig, CompressionMode, DonationPolicy};
@@ -37,11 +37,12 @@ fn main() {
         "Extension — overflow tier cost: local NVM vs triple-replicated remote DRAM vs disk",
         &["tier", "store 256 pages", "load 256 pages", "total"],
     );
-    for (label, pref, nvm_pool) in [
+    let tiers = [
         ("local NVM", TierPreference::Nvm, ByteSize::from_mib(4)),
         ("remote DRAM (r=3)", TierPreference::Remote, ByteSize::ZERO),
         ("disk", TierPreference::Disk, ByteSize::ZERO),
-    ] {
+    ];
+    let results = par_map(tiers.to_vec(), |_, (_, pref, nvm_pool)| {
         let dm = cluster(nvm_pool);
         let server = dm.servers()[0];
         let t0 = dm.clock().now();
@@ -54,6 +55,9 @@ fn main() {
             dm.get(server, key).unwrap();
         }
         let load = dm.clock().now() - t1;
+        (store, load)
+    });
+    for ((label, _, _), (store, load)) in tiers.into_iter().zip(results) {
         table.row([
             label.to_owned(),
             store.to_string(),

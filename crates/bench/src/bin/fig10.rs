@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig10`
 
-use dmem_bench::{speedup, Table};
+use dmem_bench::{par_map, speedup, Table};
 use dmem_rdd::job::{run_iterative_job, DatasetSize, JobSpec, SpillTier};
 
 fn main() {
@@ -12,10 +12,17 @@ fn main() {
         "Fig. 10 — vanilla Spark vs DAHI-powered Spark",
         &["workload", "dataset", "vanilla", "DAHI", "speedup", "DAHI spills/spill-reads"],
     );
-    for spec in JobSpec::fig10_suite() {
-        for size in DatasetSize::ALL {
-            let vanilla = run_iterative_job(&spec, size, SpillTier::VanillaDisk).unwrap();
-            let dahi = run_iterative_job(&spec, size, SpillTier::Dahi).unwrap();
+    let grid: Vec<(JobSpec, DatasetSize)> = JobSpec::fig10_suite()
+        .into_iter()
+        .flat_map(|spec| DatasetSize::ALL.into_iter().map(move |size| (spec.clone(), size)))
+        .collect();
+    let results = par_map(grid.clone(), |_, (spec, size)| {
+        let vanilla = run_iterative_job(&spec, size, SpillTier::VanillaDisk).unwrap();
+        let dahi = run_iterative_job(&spec, size, SpillTier::Dahi).unwrap();
+        (vanilla, dahi)
+    });
+    for ((spec, size), (vanilla, dahi)) in grid.into_iter().zip(results) {
+        {
             table.row([
                 spec.name.to_owned(),
                 size.to_string(),

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig3`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_compress::{synth, PageCodec, ZswapCache};
 use dmem_sim::DetRng;
 use dmem_types::CompressionMode;
@@ -27,7 +27,9 @@ fn main() {
 
     let mut means = (0.0, 0.0, 0.0);
     let suite = catalog::fig3_ml_suite();
-    for app in &suite {
+    // Per-workload page populations are independent (each forks its own
+    // rng stream): compute the three ratios in parallel, render in order.
+    let ratios = par_map(suite.clone(), |_, app| {
         let mut rng = DetRng::new(0xF163).fork(app.name);
         let pages: Vec<Vec<u8>> = (0..PAGES_PER_WORKLOAD)
             .map(|_| synth::page_mixture(app.compress_mean, app.compress_spread, synth::DEFAULT_ZERO_FRACTION, &mut rng))
@@ -45,7 +47,9 @@ fn main() {
         let stats = cache.stats();
         let stored_frames = stats.frames as f64 + stats.rejected as f64; // rejected = 1 frame each
         let rz = PAGES_PER_WORKLOAD as f64 / stored_frames.max(1.0);
-
+        (r2, r4, rz)
+    });
+    for (app, (r2, r4, rz)) in suite.iter().zip(ratios) {
         means.0 += r2;
         means.1 += r4;
         means.2 += rz;

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig4`
 
-use dmem_bench::{speedup, Table};
+use dmem_bench::{par_map, speedup, Table};
 use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
 use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
 use dmem_workloads::{catalog, TraceConfig};
@@ -49,10 +49,13 @@ fn main() {
         "Fig. 4 — LogisticRegression @50%, shared pool full: completion vs compressibility",
         &["compressibility", "(a) overflow to remote", "(b) overflow to disk", "remote vs disk"],
     );
+    // Each (ratio, tier) cell is an independent sim: fan them across
+    // cores and render rows in input order afterwards.
+    let results = par_map(RATIOS.to_vec(), |_, ratio| {
+        (run(&remote_scale, ratio), run(&disk_scale, ratio))
+    });
     let mut firsts = (0u64, 0u64);
-    for (i, ratio) in RATIOS.into_iter().enumerate() {
-        let remote_ns = run(&remote_scale, ratio);
-        let disk_ns = run(&disk_scale, ratio);
+    for (i, (ratio, (remote_ns, disk_ns))) in RATIOS.into_iter().zip(results).enumerate() {
         if i == 0 {
             firsts = (remote_ns, disk_ns);
         }

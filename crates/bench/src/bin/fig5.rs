@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig5`
 
-use dmem_bench::{speedup, Table};
+use dmem_bench::{par_map, speedup, Table};
 use dmem_swap::{run_ml_workload, SwapScale, SystemKind};
 use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
 
@@ -26,10 +26,14 @@ fn main() {
         "Fig. 5 — disaggregated memory compression on application performance (@50%)",
         &["workload", "no compression", "4-granularity", "improvement"],
     );
-    for workload in ["PageRank", "LogisticRegression", "TunkRank", "KMeans", "SVM"] {
+    let workloads = ["PageRank", "LogisticRegression", "TunkRank", "KMeans", "SVM"];
+    let results = par_map(workloads.to_vec(), |_, workload| {
         let off = run_ml_workload(kind(CompressionMode::Off), workload, &scale).unwrap();
         let on =
             run_ml_workload(kind(CompressionMode::FourGranularity), workload, &scale).unwrap();
+        (off, on)
+    });
+    for (workload, (off, on)) in workloads.into_iter().zip(results) {
         table.row([
             workload.to_owned(),
             format!("{}", off.completion),

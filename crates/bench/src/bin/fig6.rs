@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig6`
 
-use dmem_bench::{speedup, Table};
+use dmem_bench::{par_map, speedup, Table};
 use dmem_swap::{build_system, SwapScale, SystemKind};
 use dmem_types::{CompressionMode, DistributionRatio};
 
@@ -60,13 +60,22 @@ fn main() {
         "Fig. 6 — swap-in dominated completion time by system and workload size",
         &["working set", "FastSwap (PBS)", "FastSwap w/o PBS", "Infiniswap", "Linux", "PBS vs w/o", "PBS vs Linux"],
     );
-    for pages in SIZES {
+    // One independent sim per (size, system) cell; fan the grid out and
+    // reassemble rows in order.
+    let cells_grid: Vec<(u64, SystemKind)> = SIZES
+        .into_iter()
+        .flat_map(|pages| systems.iter().map(move |&(_, kind)| (pages, kind)))
+        .collect();
+    let grid_times = par_map(cells_grid, |_, (pages, kind)| {
         let mut scale = base.clone();
         scale.working_set_pages = pages;
+        run(kind, &scale)
+    });
+    for (row_idx, pages) in SIZES.into_iter().enumerate() {
         let mut cells = vec![format!("{pages} pages ({} MiB)", pages * 4096 / (1 << 20))];
         let mut times = Vec::new();
-        for (_, kind) in systems {
-            let ns = run(kind, &scale);
+        for col in 0..systems.len() {
+            let ns = grid_times[row_idx * systems.len() + col];
             times.push(ns);
             cells.push(format!("{:.1} ms", ns as f64 / 1e6));
         }

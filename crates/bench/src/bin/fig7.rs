@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig7`
 
-use dmem_bench::{speedup, Table};
+use dmem_bench::{par_map, speedup, Table};
 use dmem_swap::{run_ml_workload, SwapScale, SystemKind};
 
 const WORKLOADS: [&str; 5] = ["PageRank", "LogisticRegression", "TunkRank", "KMeans", "SVM"];
@@ -20,10 +20,13 @@ fn main() {
         );
         let mut vs_linux: Vec<f64> = Vec::new();
         let mut vs_inf: Vec<f64> = Vec::new();
-        for workload in WORKLOADS {
+        let results = par_map(WORKLOADS.to_vec(), |_, workload| {
             let linux = run_ml_workload(SystemKind::Linux, workload, &scale).unwrap();
             let inf = run_ml_workload(SystemKind::Infiniswap, workload, &scale).unwrap();
             let fast = run_ml_workload(SystemKind::fastswap_default(), workload, &scale).unwrap();
+            (linux, inf, fast)
+        });
+        for (workload, (linux, inf, fast)) in WORKLOADS.into_iter().zip(results) {
             vs_linux
                 .push(linux.completion.as_nanos() as f64 / fast.completion.as_nanos() as f64);
             vs_inf.push(inf.completion.as_nanos() as f64 / fast.completion.as_nanos() as f64);

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig8`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_swap::{run_kv_throughput, SwapScale, SystemKind};
 use dmem_types::{CompressionMode, DistributionRatio};
 
@@ -42,13 +42,22 @@ fn main() {
         &header_refs,
     );
 
-    for workload in ["Redis", "Memcached", "VoltDB"] {
+    let workloads = ["Redis", "Memcached", "VoltDB"];
+    // The full workload × system grid is independent sims.
+    let grid: Vec<(&str, SystemKind)> = workloads
+        .iter()
+        .flat_map(|&w| columns.iter().map(move |(_, kind)| (w, *kind)))
+        .collect();
+    let throughputs = par_map(grid, |_, (workload, kind)| {
+        run_kv_throughput(kind, workload, &scale, OPS).unwrap().0
+    });
+    for (row_idx, workload) in workloads.into_iter().enumerate() {
         let mut cells = vec![workload.to_owned()];
         let mut linux = 0.0f64;
         let mut inf = 0.0f64;
         let mut fs_sm = 0.0f64;
-        for (label, kind) in &columns {
-            let (throughput, _) = run_kv_throughput(*kind, workload, &scale, OPS).unwrap();
+        for (col, (label, _)) in columns.iter().enumerate() {
+            let throughput = throughputs[row_idx * columns.len() + col];
             match label.as_str() {
                 "Linux" => linux = throughput,
                 "Infiniswap" => inf = throughput,

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig9`
 
-use dmem_bench::Table;
+use dmem_bench::{par_map, Table};
 use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
 use dmem_sim::SimDuration;
 use dmem_types::{CompressionMode, DistributionRatio, PageId};
@@ -69,10 +69,9 @@ fn main() {
         ("Infiniswap", SystemKind::Infiniswap),
     ];
 
-    let mut serieses = Vec::new();
-    for (label, kind) in systems {
-        serieses.push((label, timeline(kind, &scale, horizon)));
-    }
+    let serieses: Vec<(&str, Vec<u64>)> = par_map(systems.to_vec(), |_, (label, kind)| {
+        (label, timeline(kind, &scale, horizon))
+    });
 
     let mut table = Table::new(
         "Fig. 9 — Memcached ETC throughput recovery (@50%, cold start); 300 scaled-time buckets",

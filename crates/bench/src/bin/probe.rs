@@ -6,12 +6,15 @@ fn main() {
     scale.memory_fraction = 0.5;
     scale.shared_donation = 0.10;
     scale.remote_pool = ByteSize::from_mib(1);
-    for ratio in [1.3, 2.0, 3.0] {
+    let ratios = [1.3, 2.0, 3.0];
+    let results = dmem_bench::par_map(ratios.to_vec(), |_, ratio| {
         let kind = SystemKind::FastSwap { ratio: DistributionRatio::FS_SM, compression: CompressionMode::FourGranularity, pbs: true };
         let mut engine = build_system_with_pages(kind, &scale, ratio, 0.4).unwrap();
         let profile = catalog::by_name("LogisticRegression").unwrap();
         let trace = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
-        let (stats, completion) = engine.run(trace).unwrap();
+        engine.run(trace).unwrap()
+    });
+    for (ratio, (stats, completion)) in ratios.into_iter().zip(results) {
         println!("ratio {ratio}: completion={completion} {stats:?}");
     }
 }

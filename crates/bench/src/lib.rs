@@ -119,6 +119,30 @@ pub fn speedup(baseline_ns: u64, system_ns: u64) -> String {
     format!("{:.1}x", baseline_ns as f64 / system_ns.max(1) as f64)
 }
 
+/// Worker count for [`par_map`]: the `DMEM_BENCH_JOBS` environment
+/// variable when set (0 or unparsable falls back), otherwise the
+/// machine's available parallelism.
+pub fn bench_jobs() -> usize {
+    std::env::var("DMEM_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(scoped_pool::available_parallelism)
+}
+
+/// Fans independent deterministic sims across cores and returns results
+/// in input order, so tables built from them are byte-identical to a
+/// sequential run. Each sim owns its virtual clock and rng, so
+/// interleaving cannot perturb results — only wall-clock time changes.
+pub fn par_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    scoped_pool::par_map(bench_jobs(), items, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -399,13 +399,20 @@ impl RemoteStore {
             .is_some_and(|s| s.entries.contains_key(&entry))
     }
 
-    /// Entries hosted on `node` (used by the eviction handler).
+    /// Entries hosted on `node`, in ascending id order (used by the
+    /// eviction handler). The order is load-bearing: the handler migrates
+    /// a bounded batch per scan, and `HashMap` iteration order varies per
+    /// process, which made eviction choices — and every downstream
+    /// placement — nondeterministic across runs.
     pub fn entries_on(&self, node: NodeId) -> Vec<EntryId> {
-        self.hosts
+        let mut entries: Vec<EntryId> = self
+            .hosts
             .lock()
             .get(&node)
             .map(|s| s.entries.keys().copied().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        entries.sort_unstable();
+        entries
     }
 
     /// Pool statistics for `node`.

@@ -82,11 +82,23 @@ impl PageCodec {
         );
         let sum = checksum(page);
         if self.mode.is_enabled() {
-            let stream = lz::compress(page);
-            // Pick the smallest allowed class that fits the stream; fall
-            // back to raw 4 KiB if only the largest class fits anyway.
-            if let Some(class) = SizeClass::fitting_among(stream.len(), self.mode.classes()) {
-                if class < SizeClass::C4K {
+            // A stream longer than the largest sub-4K class would be
+            // stored raw anyway, so the matcher may stop at that budget —
+            // surviving streams are byte-identical to an unbounded run.
+            let budget = self
+                .mode
+                .classes()
+                .iter()
+                .filter(|c| **c < SizeClass::C4K)
+                .map(|c| c.bytes().as_u64() as usize)
+                .max();
+            let mut stream = Vec::new();
+            if let Some(budget) = budget {
+                if lz::compress_within(page, budget, &mut stream) {
+                    // Pick the smallest allowed class that fits the
+                    // stream (within budget, so below 4 KiB).
+                    let class = SizeClass::fitting_among(stream.len(), self.mode.classes())
+                        .expect("stream within budget fits a class");
                     return CompressedPage {
                         data: stream,
                         class,

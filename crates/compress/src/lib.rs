@@ -13,7 +13,11 @@
 //! * [`zswap`] — a zswap/zbud-style compressed RAM cache used as the
 //!   baseline in Fig. 3;
 //! * [`synth`] — a synthetic page generator with calibrated
-//!   compressibility, standing in for the paper's ML workload pages.
+//!   compressibility, standing in for the paper's ML workload pages;
+//! * [`memo`] — a byte-guarded compressed-page memo ([`CompressMemo`])
+//!   that lets the swap hot path skip recompressing pages whose content
+//!   has not changed (sound for arbitrary callers, free for the engine's
+//!   pure-function pages).
 //!
 //! # Examples
 //!
@@ -35,8 +39,10 @@
 
 pub mod codec;
 pub mod lz;
+pub mod memo;
 pub mod synth;
 pub mod zswap;
 
 pub use codec::{CompressedPage, PageCodec};
+pub use memo::{CompressMemo, MemoStats};
 pub use zswap::{ZswapCache, ZswapStats};

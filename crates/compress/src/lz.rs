@@ -32,6 +32,42 @@ fn hash4(window: &[u8]) -> usize {
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
+#[inline]
+fn read_u32(input: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes(input[pos..pos + 4].try_into().expect("4 bytes in bounds"))
+}
+
+/// Length of the common prefix of `input[a..]` and `input[b..]`, capped at
+/// `limit`. Both `a + limit` and `b + limit` must be in bounds.
+#[inline]
+fn match_len(input: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let mut len = 0;
+    while len + 8 <= limit {
+        let x = u64::from_le_bytes(input[a + len..a + len + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(input[b + len..b + len + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < limit && input[a + len] == input[b + len] {
+        len += 1;
+    }
+    len
+}
+
+std::thread_local! {
+    // Matcher state reused across calls: head[h] = most recent position
+    // with hash h; prev[i] = previous position in the chain for position
+    // i. `head` is reset per call; `prev[x]` is only ever read for
+    // positions inserted during the same call (chains start at `head`),
+    // so stale entries from earlier inputs are unreachable and `prev`
+    // only needs resizing, not clearing.
+    static SCRATCH: std::cell::RefCell<(Vec<usize>, Vec<usize>)> =
+        std::cell::RefCell::new((Vec::new(), Vec::new()));
+}
+
 /// Compresses `input`, returning the token stream.
 ///
 /// The output may be longer than the input for incompressible data;
@@ -50,10 +86,50 @@ fn hash4(window: &[u8]) -> usize {
 /// ```
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    // head[h] = most recent position with hash h; prev[i] = previous
-    // position in the chain for position i.
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; input.len()];
+    compress_into(input, &mut out);
+    out
+}
+
+/// [`compress`] into a caller-provided buffer, reusing its capacity.
+///
+/// The buffer is cleared first; on return it holds exactly the token
+/// stream. Together with the thread-local matcher scratch this makes
+/// steady-state compression allocation-free once buffers have grown to
+/// their working size.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
+    compress_within(input, usize::MAX, out);
+}
+
+/// Compresses `input` only if the token stream fits in `max_len` bytes.
+///
+/// Returns `true` with the complete stream in `out` (byte-identical to
+/// [`compress`]) when it fits, and `false` as soon as the stream is
+/// provably longer — without finishing the match search. Callers that
+/// fall back to raw storage above a size threshold (the page codec, for
+/// which any stream over the largest sub-page size class means "store
+/// raw") use this to stop paying the matcher for incompressible input;
+/// the accept/reject decision is exactly that of running [`compress`] to
+/// completion and comparing lengths.
+pub fn compress_within(input: &[u8], max_len: usize, out: &mut Vec<u8>) -> bool {
+    out.clear();
+    SCRATCH.with(|scratch| {
+        let (head, prev) = &mut *scratch.borrow_mut();
+        head.clear();
+        head.resize(HASH_SIZE, usize::MAX);
+        if prev.len() < input.len() {
+            prev.resize(input.len(), usize::MAX);
+        }
+        compress_with(input, out, head, prev, max_len)
+    })
+}
+
+fn compress_with(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    head: &mut [usize],
+    prev: &mut [usize],
+    max_len: usize,
+) -> bool {
     let mut literal_start = 0usize;
     let mut i = 0usize;
 
@@ -68,24 +144,35 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     };
 
     while i + MIN_MATCH <= input.len() {
+        // Emitted bytes plus pending literals (everything before `i` not
+        // covered by a match is committed to literal emission) is a lower
+        // bound on the final stream length — once past the budget, stop
+        // searching.
+        if out.len() + (i - literal_start) > max_len {
+            return false;
+        }
         let h = hash4(&input[i..]);
         // Walk the chain looking for the longest match.
+        let cur4 = read_u32(input, i);
         let mut best_len = 0usize;
         let mut best_pos = usize::MAX;
         let mut candidate = head[h];
         let mut probes = 16; // bounded effort per position
         while candidate != usize::MAX && probes > 0 {
             if i - candidate <= MAX_OFFSET {
-                let limit = (input.len() - i).min(MAX_MATCH);
-                let mut len = 0;
-                while len < limit && input[candidate + len] == input[i + len] {
-                    len += 1;
-                }
-                if len > best_len {
-                    best_len = len;
-                    best_pos = candidate;
-                    if len == limit {
-                        break;
+                // An accepted match needs at least MIN_MATCH = 4 leading
+                // bytes; a candidate failing the 4-byte probe could only
+                // score a sub-minimum length, which never changes the
+                // emitted stream — skip its byte scan.
+                if read_u32(input, candidate) == cur4 {
+                    let limit = (input.len() - i).min(MAX_MATCH);
+                    let len = match_len(input, candidate, i, limit);
+                    if len > best_len {
+                        best_len = len;
+                        best_pos = candidate;
+                        if len == limit {
+                            break;
+                        }
                     }
                 }
             } else {
@@ -96,7 +183,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         }
 
         if best_len >= MIN_MATCH {
-            flush_literals(&mut out, literal_start, i, input);
+            flush_literals(out, literal_start, i, input);
             let offset = (i - best_pos) as u16;
             out.push(0x80 | (best_len - MIN_MATCH) as u8);
             out.extend_from_slice(&offset.to_le_bytes());
@@ -116,8 +203,8 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             i += 1;
         }
     }
-    flush_literals(&mut out, literal_start, input.len(), input);
-    out
+    flush_literals(out, literal_start, input.len(), input);
+    out.len() <= max_len
 }
 
 /// Errors produced by [`decompress`].
@@ -168,6 +255,24 @@ impl std::error::Error for LzError {}
 /// back-reference, or does not decode to `expected_len` bytes.
 pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzError> {
     let mut out = Vec::with_capacity(expected_len);
+    decompress_into(stream, expected_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-provided buffer, reusing its capacity.
+///
+/// The buffer is cleared first; on success it holds exactly the decoded
+/// bytes. On error the buffer contents are unspecified.
+///
+/// # Errors
+///
+/// Same as [`decompress`].
+pub fn decompress_into(
+    stream: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), LzError> {
+    out.clear();
     let mut i = 0usize;
     while i < stream.len() {
         let control = stream[i];
@@ -206,7 +311,7 @@ pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzError
             actual: out.len(),
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -222,6 +327,35 @@ mod tests {
     fn empty_input() {
         assert_eq!(compress(&[]), Vec::<u8>::new());
         assert_eq!(decompress(&[], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bounded_compress_matches_unbounded_when_within_budget() {
+        let mut page = vec![0u8; 4096];
+        for (i, byte) in page.iter_mut().enumerate() {
+            *byte = (i / 64) as u8; // long runs: highly compressible
+        }
+        let full = compress(&page);
+        assert!(full.len() <= 2048, "test page must fit the budget");
+        let mut bounded = Vec::new();
+        assert!(compress_within(&page, 2048, &mut bounded));
+        assert_eq!(bounded, full, "bounded stream must be byte-identical");
+    }
+
+    #[test]
+    fn bounded_compress_bails_on_incompressible_input() {
+        // A simple xorshift fills the page with incompressible noise.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut page = vec![0u8; 4096];
+        for byte in page.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *byte = state as u8;
+        }
+        assert!(compress(&page).len() > 2048, "noise page must overflow");
+        let mut bounded = Vec::new();
+        assert!(!compress_within(&page, 2048, &mut bounded));
     }
 
     #[test]
@@ -293,6 +427,19 @@ mod tests {
             decompress(&packed, 5),
             Err(LzError::LengthMismatch { expected: 5, actual: 4 })
         ));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_allocating_api() {
+        let mut packed = Vec::new();
+        let mut out = Vec::new();
+        for rep in 1..6usize {
+            let data: Vec<u8> = (0..512 * rep).map(|i| (i / 7) as u8).collect();
+            compress_into(&data, &mut packed);
+            assert_eq!(packed, compress(&data), "rep {rep}");
+            decompress_into(&packed, data.len(), &mut out).unwrap();
+            assert_eq!(out, data);
+        }
     }
 
     #[test]

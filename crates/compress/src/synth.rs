@@ -36,6 +36,15 @@ const LITERAL_COST_PER_BYTE: f64 = 1.0 + 1.0 / 128.0;
 /// assert!(achieved > 2.5 && achieved < 6.0);
 /// ```
 pub fn page_with_ratio<R: Rng>(target_ratio: f64, rng: &mut R) -> Vec<u8> {
+    let mut page = Vec::new();
+    page_with_ratio_into(target_ratio, rng, &mut page);
+    page
+}
+
+/// [`page_with_ratio`] into a caller-provided buffer, reusing its
+/// capacity. Every byte of the buffer is overwritten, so the result is
+/// identical to the allocating variant for the same rng state.
+pub fn page_with_ratio_into<R: Rng>(target_ratio: f64, rng: &mut R, page: &mut Vec<u8>) {
     let ratio = target_ratio.max(1.0);
     let target_compressed = PAGE_SIZE as f64 / ratio;
     // Solve: L*literal_cost + (PAGE_SIZE - L)*match_cost = target.
@@ -43,7 +52,8 @@ pub fn page_with_ratio<R: Rng>(target_ratio: f64, rng: &mut R) -> Vec<u8> {
     let denominator = LITERAL_COST_PER_BYTE - MATCH_COST_PER_BYTE;
     let random_len = (numerator / denominator).clamp(0.0, PAGE_SIZE as f64) as usize;
 
-    let mut page = vec![0u8; PAGE_SIZE];
+    page.clear();
+    page.resize(PAGE_SIZE, 0);
     rng.fill(&mut page[..random_len]);
     // Repeated motif for the compressible tail. An 8-byte motif keeps the
     // matcher in long-match territory without degenerate RLE behaviour.
@@ -51,7 +61,6 @@ pub fn page_with_ratio<R: Rng>(target_ratio: f64, rng: &mut R) -> Vec<u8> {
     for (i, byte) in page[random_len..].iter_mut().enumerate() {
         *byte = motif[i % motif.len()];
     }
-    page
 }
 
 /// A fully random, incompressible page.
@@ -73,10 +82,22 @@ pub fn zero_page() -> Vec<u8> {
 /// Workload models use this to produce a realistic per-page
 /// compressibility distribution around a workload's profile mean.
 pub fn page_around_ratio<R: Rng>(mean_ratio: f64, spread: f64, rng: &mut R) -> Vec<u8> {
+    let mut page = Vec::new();
+    page_around_ratio_into(mean_ratio, spread, rng, &mut page);
+    page
+}
+
+/// [`page_around_ratio`] into a caller-provided buffer.
+pub fn page_around_ratio_into<R: Rng>(
+    mean_ratio: f64,
+    spread: f64,
+    rng: &mut R,
+    page: &mut Vec<u8>,
+) {
     let lo = (mean_ratio - spread).max(1.0);
     let hi = (mean_ratio + spread).max(lo + f64::EPSILON);
     let target = rng.gen_range(lo..hi);
-    page_with_ratio(target, rng)
+    page_with_ratio_into(target, rng, page);
 }
 
 /// Fraction of same-filled (near-zero) pages in a realistic anonymous
@@ -97,12 +118,28 @@ pub fn page_mixture<R: Rng>(
     zero_fraction: f64,
     rng: &mut R,
 ) -> Vec<u8> {
+    let mut page = Vec::new();
+    page_mixture_into(mean_ratio, spread, zero_fraction, rng, &mut page);
+    page
+}
+
+/// [`page_mixture`] into a caller-provided buffer, reusing its capacity.
+/// The swap engine's eviction loop routes every page generation through
+/// this variant so steady-state swap-outs do no heap allocation.
+pub fn page_mixture_into<R: Rng>(
+    mean_ratio: f64,
+    spread: f64,
+    zero_fraction: f64,
+    rng: &mut R,
+    page: &mut Vec<u8>,
+) {
     if rng.gen_bool(zero_fraction.clamp(0.0, 1.0)) {
         // Same-filled, not all-zero: a repeated word, still ~max class.
         let word: u8 = rng.gen();
-        vec![word; PAGE_SIZE]
+        page.clear();
+        page.resize(PAGE_SIZE, word);
     } else {
-        page_around_ratio(mean_ratio, spread, rng)
+        page_around_ratio_into(mean_ratio, spread, rng, page);
     }
 }
 
@@ -174,6 +211,18 @@ mod tests {
         for _ in 0..20 {
             let p = page_mixture(1.2, 0.1, 0.0, &mut rng);
             assert!(!p.iter().all(|&b| b == p[0]));
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_bytewise() {
+        let mut a = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut b = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut buf = vec![9u8; 17]; // dirty, wrong-sized reusable buffer
+        for _ in 0..16 {
+            let fresh = page_mixture(2.5, 0.7, 0.3, &mut a);
+            page_mixture_into(2.5, 0.7, 0.3, &mut b, &mut buf);
+            assert_eq!(buf, fresh, "reused buffer must match fresh allocation");
         }
     }
 

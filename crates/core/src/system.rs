@@ -6,7 +6,7 @@ use dmem_cluster::{
     ClusterMembership, EvictionOutcome, GroupTable, LeaderElection, Placer, RemoteSlabEvictor,
     RemoteStore, Replicator,
 };
-use dmem_compress::{CompressedPage, PageCodec};
+use dmem_compress::{CompressMemo, CompressedPage, PageCodec};
 use dmem_net::Fabric;
 use dmem_node::NodeManager;
 use dmem_sim::{
@@ -14,7 +14,7 @@ use dmem_sim::{
 };
 use dmem_types::{
     checksum, ByteSize, ClusterConfig, DmemError, DmemResult, EntryId, EntryLocation, EntryRecord,
-    NodeId, ServerId, PAGE_SIZE,
+    NodeId, ServerId, SizeClass, PAGE_SIZE,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -74,6 +74,10 @@ pub struct DisaggregatedMemory {
     nvm: DiskTier,
     nvm_used: Mutex<HashMap<NodeId, u64>>,
     codec: PageCodec,
+    /// Byte-guarded compressed-page memo keyed by `(server, key)`. Hits
+    /// skip the LZ matcher; the simulated compression cost is charged
+    /// either way, so virtual-time results are unchanged.
+    compress_memo: Mutex<CompressMemo>,
     maps: Mutex<HashMap<ServerId, MemoryMap>>,
     servers: Vec<ServerId>,
     metrics: MetricsRegistry,
@@ -146,6 +150,7 @@ impl DisaggregatedMemory {
             nvm,
             nvm_used: Mutex::new(HashMap::new()),
             codec,
+            compress_memo: Mutex::new(CompressMemo::with_default_capacity()),
             maps: Mutex::new(maps),
             servers,
             metrics: MetricsRegistry::new(),
@@ -245,9 +250,19 @@ impl DisaggregatedMemory {
             .collect())
     }
 
-    fn prepare(&self, data: &[u8]) -> (Vec<u8>, EntryRecord) {
+    fn memo_key(entry: EntryId) -> (u64, u64) {
+        let server = entry.owner();
+        let server_key =
+            (u64::from(server.node().index()) << 32) | u64::from(server.local_index());
+        (server_key, entry.key())
+    }
+
+    fn prepare(&self, entry: EntryId, data: &[u8]) -> (Vec<u8>, EntryRecord) {
         if data.len() <= PAGE_SIZE {
-            let page = self.codec.compress(data);
+            let page = self
+                .compress_memo
+                .lock()
+                .get_or_compress(Self::memo_key(entry), &self.codec, data);
             if page.is_compressed {
                 self.clock.advance(self.cost.compress_page);
             }
@@ -287,12 +302,25 @@ impl DisaggregatedMemory {
                 is_compressed: true,
                 checksum: record.checksum,
             };
-            self.codec.decompress(&page)
+            self.compress_memo
+                .lock()
+                .get_or_decompress(&self.codec, &page)
         } else {
-            if checksum(&stored) != record.checksum {
-                return Err(DmemError::Corrupt(EntryId::default()));
-            }
-            Ok(stored)
+            // Raw entries verify the same way via the memo: a previously
+            // verified identical blob is confirmed with a vectorized
+            // `memcmp` instead of re-walking the byte-serial FNV — this
+            // is the hot path for incompressible pages (random payloads
+            // of the RDD and chaos workloads).
+            let page = CompressedPage {
+                data: stored,
+                class: SizeClass::C4K,
+                original_len: record.len as usize,
+                is_compressed: false,
+                checksum: record.checksum,
+            };
+            self.compress_memo
+                .lock()
+                .get_or_decompress(&self.codec, &page)
         }
     }
 
@@ -358,7 +386,7 @@ impl DisaggregatedMemory {
         if let Some(old) = self.maps.lock().get_mut(&server).and_then(|m| m.remove(key)) {
             self.drop_location(entry, &old);
         }
-        let (stored, mut record) = self.prepare(&data);
+        let (stored, mut record) = self.prepare(entry, &data);
         let node = server.node();
 
         let location = match pref {
@@ -633,7 +661,7 @@ impl DisaggregatedMemory {
             if let Some(old) = self.maps.lock().get_mut(&server).and_then(|m| m.remove(key)) {
                 self.drop_location(entry, &old);
             }
-            let (stored, mut record) = self.prepare(&data);
+            let (stored, mut record) = self.prepare(entry, &data);
             match pref {
                 TierPreference::Auto | TierPreference::NodeShared => {
                     match self.try_shared(node, entry, &stored, &record) {

@@ -244,7 +244,7 @@ pub fn run_iterative_job(
     for p in 0..spec.partitions {
         let records = dataset.compute(p, &no_cache);
         clock.advance(spec.compute_per_record * records.len() as u64);
-        bm.put(BlockId::new(dataset.id(), p), &records)?;
+        bm.put(BlockId::new(dataset.id(), p), records)?;
     }
 
     // Iterations: read every cached partition, compute, aggregate.
@@ -258,12 +258,11 @@ pub fn run_iterative_job(
                     // recompute from lineage and re-cache.
                     let r = dataset.compute(p, &no_cache);
                     clock.advance(spec.compute_per_record * r.len() as u64);
-                    bm.put(BlockId::new(dataset.id(), p), &r)?;
-                    r
+                    bm.put(BlockId::new(dataset.id(), p), r)?
                 }
             };
             clock.advance(spec.compute_per_record * records.len() as u64);
-            for record in &records {
+            for record in records.iter() {
                 for (slot, v) in aggregate.iter_mut().zip(&record.values) {
                     *slot += v;
                 }

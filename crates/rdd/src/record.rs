@@ -34,25 +34,22 @@ impl Record {
     }
 
     fn read_from(buf: &[u8], pos: &mut usize) -> DmemResult<Record> {
+        // Parse in place — this runs once per record on every cache read,
+        // so it must not allocate beyond the `values` vector itself.
         let corrupt = || DmemError::Corrupt(EntryId::default());
-        let take = |buf: &[u8], pos: &mut usize, n: usize| -> DmemResult<Vec<u8>> {
-            if *pos + n > buf.len() {
-                return Err(corrupt());
-            }
-            let out = buf[*pos..*pos + n].to_vec();
-            *pos += n;
-            Ok(out)
-        };
-        let key = u64::from_le_bytes(take(buf, pos, 8)?.try_into().expect("8 bytes"));
-        let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().expect("4 bytes")) as usize;
+        fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Option<[u8; N]> {
+            let bytes = buf.get(*pos..*pos + N)?;
+            *pos += N;
+            Some(bytes.try_into().expect("slice of length N"))
+        }
+        let key = u64::from_le_bytes(take::<8>(buf, pos).ok_or_else(corrupt)?);
+        let len = u32::from_le_bytes(take::<4>(buf, pos).ok_or_else(corrupt)?) as usize;
         if len > (buf.len() - *pos) / 8 {
             return Err(corrupt());
         }
         let mut values = Vec::with_capacity(len);
         for _ in 0..len {
-            values.push(f64::from_le_bytes(
-                take(buf, pos, 8)?.try_into().expect("8 bytes"),
-            ));
+            values.push(f64::from_le_bytes(take::<8>(buf, pos).ok_or_else(corrupt)?));
         }
         Ok(Record { key, values })
     }

@@ -6,13 +6,21 @@
 //! swap-in. Every access charges a configurable per-access compute cost
 //! (the application's own work per page of data), so completion time =
 //! compute + fault service — the quantity Figs. 4-7 plot.
+//!
+//! The fault loop is the simulator's hottest path, so its bookkeeping is
+//! all O(1) ([`crate::lru::FrameLru`] for recency, [`crate::lru::PfnSet`]
+//! for backend residency) and its buffers are recycled: evicted page
+//! content is generated into pooled 4 KiB buffers that flow through the
+//! write-behind window and back to the pool, so a warmed-up engine
+//! performs no heap allocation per access (asserted by the
+//! `alloc_smoke` integration test).
 
 use crate::backend::SwapBackend;
+use crate::lru::{FrameLru, PfnSet};
 use dmem_compress::synth;
 use dmem_sim::{DetRng, SimClock, SimDuration, SimInstant};
 use dmem_types::{DmemResult, SwapInMode};
 use dmem_workloads::PageAccess;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// Deterministic page-content generator: the same pfn always regenerates
@@ -37,13 +45,23 @@ impl PageSource {
 
     /// The bytes of page `pfn`.
     pub fn page(&self, pfn: u64) -> Vec<u8> {
+        let mut page = Vec::new();
+        self.page_into(pfn, &mut page);
+        page
+    }
+
+    /// [`PageSource::page`] into a caller-provided buffer, reusing its
+    /// capacity. The content is a pure function of `(seed, pfn)`, so
+    /// repeated calls for the same pfn yield identical bytes.
+    pub fn page_into(&self, pfn: u64, page: &mut Vec<u8>) {
         let mut rng = DetRng::new(self.seed).fork_indexed("page", pfn);
-        synth::page_mixture(
+        synth::page_mixture_into(
             self.mean_ratio,
             self.spread,
             synth::DEFAULT_ZERO_FRACTION,
             &mut rng,
-        )
+            page,
+        );
     }
 }
 
@@ -115,24 +133,22 @@ pub struct EngineStats {
     pub proactive_restores: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Resident {
-    tick: u64,
-    dirty: bool,
-    prefetched: bool,
-}
-
 /// The paging engine. See the module docs.
 pub struct PagingEngine {
     config: EngineConfig,
     clock: SimClock,
     backend: Box<dyn SwapBackend>,
     source: PageSource,
-    resident: HashMap<u64, Resident>,
-    lru: BTreeMap<u64, u64>, // tick -> pfn
-    tick: u64,
-    in_backend: BTreeSet<u64>,
+    frames: FrameLru,
+    in_backend: PfnSet,
     writeback: Vec<(u64, Vec<u8>)>,
+    /// Recycled 4 KiB page buffers: eviction pops one, fills it via
+    /// [`PageSource::page_into`], and the write-behind flush returns it.
+    page_pool: Vec<Vec<u8>>,
+    /// Scratch pfn list for the swap-in window (reused across faults).
+    fault_batch: Vec<u64>,
+    /// Scratch pfn list for the proactive restore scan.
+    restore_batch: Vec<u64>,
     recent_faults: std::collections::VecDeque<u64>,
     stats: EngineStats,
 }
@@ -151,16 +167,18 @@ impl PagingEngine {
     ) -> Self {
         assert!(config.frames > 0, "at least one resident frame required");
         assert!(config.swap_out_window > 0, "swap-out window must be >= 1");
+        let frames = FrameLru::with_capacity(config.frames);
         PagingEngine {
             config,
             clock,
             backend,
             source,
-            resident: HashMap::new(),
-            lru: BTreeMap::new(),
-            tick: 0,
-            in_backend: BTreeSet::new(),
+            frames,
+            in_backend: PfnSet::new(),
             writeback: Vec::new(),
+            page_pool: Vec::new(),
+            fault_batch: Vec::new(),
+            restore_batch: Vec::new(),
             recent_faults: std::collections::VecDeque::new(),
             stats: EngineStats::default(),
         }
@@ -183,32 +201,14 @@ impl PagingEngine {
 
     /// Pages currently resident.
     pub fn resident_pages(&self) -> usize {
-        self.resident.len()
+        self.frames.len()
     }
 
     fn touch(&mut self, pfn: u64, write: bool, prefetched: bool) {
-        self.tick += 1;
-        if let Some(r) = self.resident.get(&pfn) {
-            self.lru.remove(&r.tick);
-        }
-        let dirty = write
-            || self
-                .resident
-                .get(&pfn)
-                .map(|r| r.dirty)
-                .unwrap_or(false);
-        self.resident.insert(
-            pfn,
-            Resident {
-                tick: self.tick,
-                dirty,
-                prefetched,
-            },
-        );
-        self.lru.insert(self.tick, pfn);
+        self.frames.touch(pfn, write, prefetched);
         if write {
             // The swap-cache copy (if any) is now stale.
-            self.in_backend.remove(&pfn);
+            self.in_backend.remove(pfn);
             self.backend.invalidate(pfn);
         }
     }
@@ -217,25 +217,25 @@ impl PagingEngine {
         if self.writeback.is_empty() {
             return Ok(());
         }
-        let batch = std::mem::take(&mut self.writeback);
-        self.backend.store_batch(&batch)?;
-        for (pfn, _) in &batch {
-            self.in_backend.insert(*pfn);
+        self.backend.store_batch(&self.writeback)?;
+        self.stats.swap_outs += self.writeback.len() as u64;
+        for (pfn, buf) in self.writeback.drain(..) {
+            self.in_backend.insert(pfn);
+            self.page_pool.push(buf);
         }
-        self.stats.swap_outs += batch.len() as u64;
         Ok(())
     }
 
     fn evict_one(&mut self) -> DmemResult<()> {
-        let (&tick, &victim) = self.lru.iter().next().expect("resident set nonempty");
-        self.lru.remove(&tick);
-        let state = self.resident.remove(&victim).expect("victim resident");
-        if !state.dirty && self.in_backend.contains(&victim) {
+        let (victim, flags) = self.frames.pop_lru().expect("resident set nonempty");
+        if !flags.dirty && self.in_backend.contains(victim) {
             // Clean page with a valid swap-cache copy: free to drop.
             self.stats.clean_evictions += 1;
             return Ok(());
         }
-        self.writeback.push((victim, self.source.page(victim)));
+        let mut buf = self.page_pool.pop().unwrap_or_default();
+        self.source.page_into(victim, &mut buf);
+        self.writeback.push((victim, buf));
         if self.writeback.len() >= self.config.swap_out_window {
             self.flush_writeback()?;
         }
@@ -243,7 +243,7 @@ impl PagingEngine {
     }
 
     fn ensure_frames(&mut self, needed: usize) -> DmemResult<()> {
-        while self.resident.len() + needed > self.config.frames {
+        while self.frames.len() + needed > self.config.frames {
             self.evict_one()?;
         }
         Ok(())
@@ -265,13 +265,8 @@ impl PagingEngine {
         self.stats.accesses += 1;
         self.clock.advance(self.config.compute_per_access);
 
-        if self.resident.contains_key(&pfn) {
-            if self
-                .resident
-                .get(&pfn)
-                .map(|r| r.prefetched)
-                .unwrap_or(false)
-            {
+        if let Some(flags) = self.frames.flags(pfn) {
+            if flags.prefetched {
                 self.stats.prefetch_hits += 1;
             }
             self.touch(pfn, write, false);
@@ -279,18 +274,17 @@ impl PagingEngine {
         }
         // Write-behind buffer hit: page not yet flushed, pull it back.
         if let Some(pos) = self.writeback.iter().position(|(p, _)| *p == pfn) {
-            let (_, _data) = self.writeback.remove(pos);
+            let (_, buf) = self.writeback.remove(pos);
+            self.page_pool.push(buf);
             self.stats.writeback_hits += 1;
             self.ensure_frames(1)?;
             self.touch(pfn, write, false);
             // It never reached the backend; it is dirty again.
-            if let Some(r) = self.resident.get_mut(&pfn) {
-                r.dirty = true;
-            }
+            self.frames.set_dirty(pfn);
             return Ok(());
         }
 
-        if self.in_backend.contains(&pfn) {
+        if self.in_backend.contains(pfn) {
             self.stats.major_faults += 1;
             self.clock.advance(self.config.fault_overhead);
             // Assemble the swap-in window: the faulted page plus up to
@@ -311,25 +305,28 @@ impl PagingEngine {
             } else {
                 1
             };
-            let mut batch = vec![pfn];
+            self.fault_batch.clear();
+            self.fault_batch.push(pfn);
             if window > 1 {
                 // Prefetch contiguous swapped-out successors; eviction
                 // below makes room, as the kernel's readahead does.
                 for next in pfn + 1.. {
-                    if batch.len() >= window {
+                    if self.fault_batch.len() >= window {
                         break;
                     }
-                    if self.in_backend.contains(&next) && !self.resident.contains_key(&next) {
-                        batch.push(next);
+                    if self.in_backend.contains(next) && !self.frames.contains(next) {
+                        self.fault_batch.push(next);
                     } else {
                         break;
                     }
                 }
             }
-            self.ensure_frames(batch.len())?;
-            let _pages = self.backend.load_batch(&batch)?;
-            self.stats.swap_ins += batch.len() as u64;
-            for (i, &page) in batch.iter().enumerate() {
+            let batch_len = self.fault_batch.len();
+            self.ensure_frames(batch_len)?;
+            let _pages = self.backend.load_batch(&self.fault_batch)?;
+            self.stats.swap_ins += batch_len as u64;
+            for i in 0..batch_len {
+                let page = self.fault_batch[i];
                 let is_faulted = i == 0;
                 self.touch(page, write && is_faulted, !is_faulted);
             }
@@ -353,31 +350,31 @@ impl PagingEngine {
             SwapInMode::ProactiveBatch { window } => window.max(1),
             SwapInMode::Demand => return Ok(()),
         };
-        let free = self.config.frames.saturating_sub(self.resident.len());
+        let free = self.config.frames.saturating_sub(self.frames.len());
         if free == 0 || self.in_backend.is_empty() {
             return Ok(());
         }
         let budget = free.min(window);
-        let mut batch = Vec::with_capacity(budget);
+        self.restore_batch.clear();
         // Bounded scan: look at most a few windows deep so a pool full of
         // resident swap-cache copies cannot turn this into O(n) per access.
-        for &pfn in self.in_backend.iter().take(window * 8) {
-            if batch.len() >= budget {
+        for pfn in self.in_backend.iter().take(window * 8) {
+            if self.restore_batch.len() >= budget {
                 break;
             }
-            if !self.resident.contains_key(&pfn)
-                && !self.writeback.iter().any(|(p, _)| *p == pfn)
-            {
-                batch.push(pfn);
+            if !self.frames.contains(pfn) && !self.writeback.iter().any(|(p, _)| *p == pfn) {
+                self.restore_batch.push(pfn);
             }
         }
-        if batch.is_empty() {
+        if self.restore_batch.is_empty() {
             return Ok(());
         }
-        let _pages = self.backend.load_batch(&batch)?;
-        self.stats.swap_ins += batch.len() as u64;
-        self.stats.proactive_restores += batch.len() as u64;
-        for &page in &batch {
+        let batch_len = self.restore_batch.len();
+        let _pages = self.backend.load_batch(&self.restore_batch)?;
+        self.stats.swap_ins += batch_len as u64;
+        self.stats.proactive_restores += batch_len as u64;
+        for i in 0..batch_len {
+            let page = self.restore_batch[i];
             self.touch(page, false, true);
         }
         Ok(())
@@ -438,21 +435,24 @@ impl PagingEngine {
     /// Propagates backend failures.
     pub fn preload_swapped(&mut self, n: u64) -> DmemResult<()> {
         let batch_size = self.config.swap_out_window.max(1);
-        let mut batch = Vec::with_capacity(batch_size);
+        let mut batch: Vec<(u64, Vec<u8>)> = Vec::with_capacity(batch_size);
         for pfn in 0..n {
-            batch.push((pfn, self.source.page(pfn)));
+            let mut buf = self.page_pool.pop().unwrap_or_default();
+            self.source.page_into(pfn, &mut buf);
+            batch.push((pfn, buf));
             if batch.len() >= batch_size {
                 self.backend.store_batch(&batch)?;
-                for (p, _) in &batch {
-                    self.in_backend.insert(*p);
+                for (p, buf) in batch.drain(..) {
+                    self.in_backend.insert(p);
+                    self.page_pool.push(buf);
                 }
-                batch.clear();
             }
         }
         if !batch.is_empty() {
             self.backend.store_batch(&batch)?;
-            for (p, _) in &batch {
-                self.in_backend.insert(*p);
+            for (p, buf) in batch.drain(..) {
+                self.in_backend.insert(p);
+                self.page_pool.push(buf);
             }
         }
         Ok(())
@@ -469,7 +469,7 @@ impl fmt::Debug for PagingEngine {
         f.debug_struct("PagingEngine")
             .field("system", &self.backend.name())
             .field("frames", &self.config.frames)
-            .field("resident", &self.resident.len())
+            .field("resident", &self.frames.len())
             .field("stats", &self.stats)
             .finish()
     }

@@ -45,6 +45,7 @@ pub mod backend;
 pub mod disk;
 pub mod engine;
 pub mod fastswap;
+pub mod lru;
 pub mod remote_paging;
 pub mod systems;
 pub mod zswap_backend;
@@ -53,6 +54,7 @@ pub use backend::SwapBackend;
 pub use disk::LinuxDiskSwap;
 pub use engine::{EngineConfig, EngineStats, PageSource, PagingEngine};
 pub use fastswap::FastSwapBackend;
+pub use lru::{FrameFlags, FrameLru, PfnSet};
 pub use remote_paging::{InfiniswapBackend, NbdxBackend};
 pub use systems::{build_system, build_system_with_pages, run_kv_throughput, run_kv_timeline, run_ml_workload, RunResult, SwapScale, SystemKind};
 pub use zswap_backend::ZswapBackend;

@@ -4,14 +4,21 @@
 //! exits nonzero on the first invariant violation, printing the seed, the
 //! violated invariant, and the minimal failing event prefix.
 //!
+//! Seeds run fanned across cores (`--jobs N`, default: available
+//! parallelism) — each seed's simulation is fully deterministic and
+//! self-contained, and verdicts print in seed order, so the output is
+//! byte-identical to a sequential run. A seeds/second rate goes to
+//! stderr.
+//!
 //! ```text
 //! cargo run --bin chaos -- --seeds 0..32
-//! cargo run --bin chaos -- --seed 0x2a --steps 200
+//! cargo run --bin chaos -- --seed 0x2a --steps 200 --jobs 4
 //! ```
 
 use memory_disaggregation::chaos::{run_seed, ChaosSettings};
 use memory_disaggregation::sim::ChaosConfig;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn parse_u64(text: &str) -> Result<u64, String> {
     let parsed = if let Some(hex) = text.strip_prefix("0x") {
@@ -23,17 +30,22 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 }
 
 fn usage() -> String {
-    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N]".to_string()
+    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N]"
+        .to_string()
 }
 
 fn run() -> Result<bool, String> {
     let mut config = ChaosConfig::default();
     let mut seeds: Vec<u64> = Vec::new();
+    let mut jobs = scoped_pool::available_parallelism();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--seed" => seeds.push(parse_u64(&value("--seed")?)?),
+            "--jobs" => {
+                jobs = parse_u64(&value("--jobs")?)?.max(1) as usize;
+            }
             "--seeds" => {
                 let spec = value("--seeds")?;
                 let (a, b) = spec
@@ -57,9 +69,18 @@ fn run() -> Result<bool, String> {
     }
 
     let settings = ChaosSettings::default();
+    let total = seeds.len();
+    let wall = Instant::now();
+    // Each seed is an independent deterministic sim; fan across cores and
+    // print verdicts in seed order so stdout is byte-identical to a
+    // sequential run.
+    let verdicts = scoped_pool::par_map(jobs, seeds.clone(), |_, seed| {
+        run_seed(seed, &config, &settings)
+    });
+    let elapsed = wall.elapsed();
     let mut all_clean = true;
-    for seed in seeds {
-        match run_seed(seed, &config, &settings) {
+    for (seed, verdict) in seeds.into_iter().zip(verdicts) {
+        match verdict {
             Ok(stats) => println!("seed {seed:#x}: ok ({stats})"),
             Err(report) => {
                 all_clean = false;
@@ -68,6 +89,12 @@ fn run() -> Result<bool, String> {
             }
         }
     }
+    // Rate to stderr: stdout stays reserved for the verdicts.
+    eprintln!(
+        "[chaos] {total} seeds in {:.2}s ({:.1} seeds/s, jobs={jobs})",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
     Ok(all_clean)
 }
 
