@@ -29,6 +29,17 @@ step "cargo test -q" cargo test -q
 step "chaos smoke (seeds 0..32)" \
     cargo run --release --quiet --bin chaos -- --seeds 0..32
 
+# Traced fig4: one telemetry-enabled pass exporting a Chrome-trace JSON,
+# then validate the artifact (parses, trace-event shaped, spans from >= 4
+# simulation layers). Guards the zero-cost-when-disabled contract's other
+# half: tracing, when on, actually observes the whole stack.
+step "traced fig4 + trace check" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin fig4 -- \
+        --trace-out results/fig4_trace.json --metrics-out results/fig4_metrics.txt
+    cargo run --release --quiet -p dmem-bench --bin dmem_top -- \
+        --check-trace results/fig4_trace.json
+'
+
 # Perf smoke: quick variants of the three wall-clock scenarios, compared
 # against the checked-in baseline with a 3x tolerance — catches gross
 # algorithmic regressions, not percent-level noise.

@@ -1,0 +1,160 @@
+//! `dmem-top`: a text telemetry report for the simulated cluster, in the
+//! spirit of `top`/`iostat` for disaggregated memory.
+//!
+//! Default mode runs the fig4 remote-overflow scenario (LogisticRegression
+//! @50%, shared pool full, 3.0x-compressible pages) with the tracer
+//! enabled and prints:
+//!
+//!   * where simulated time went, per component (exclusive self time);
+//!   * per-tier latency histograms and operation counters;
+//!   * span counts per category.
+//!
+//! `--trace-out FILE` / `--metrics-out FILE` additionally export the
+//! Chrome-trace JSON (+ `.jsonl` sibling) and the digest text.
+//!
+//! `--check-trace FILE` instead validates a previously exported
+//! Chrome-trace JSON: it must parse, be shaped like the trace-event
+//! format, and contain spans from at least four simulation layers. Used
+//! by `ci.sh` to gate the traced fig4 artifact. Exits nonzero on failure.
+
+use dmem_bench::TelemetryArgs;
+use dmem_sim::jsonlite;
+use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
+use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
+use dmem_workloads::{catalog, TraceConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Layers a healthy full-stack trace must cover (at least [`MIN_LAYERS`]).
+const EXPECTED_CATEGORIES: [&str; 6] = ["cluster", "compress", "core", "net", "rdd", "swap"];
+/// Minimum distinct expected categories for `--check-trace` to pass.
+const MIN_LAYERS: usize = 4;
+
+fn check_trace(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = jsonlite::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(jsonlite::Value::as_array)
+        .ok_or_else(|| format!("{path}: missing traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: traceEvents is empty"));
+    }
+    let mut per_category: BTreeMap<String, usize> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["name", "cat", "ph"] {
+            if ev.get(key).and_then(jsonlite::Value::as_str).is_none() {
+                return Err(format!("{path}: event {i} lacks string field {key:?}"));
+            }
+        }
+        if ev.get("ts").and_then(jsonlite::Value::as_f64).is_none() {
+            return Err(format!("{path}: event {i} lacks numeric ts"));
+        }
+        let cat = ev.get("cat").and_then(jsonlite::Value::as_str).unwrap();
+        *per_category.entry(cat.to_owned()).or_insert(0) += 1;
+    }
+    let covered: Vec<&str> = EXPECTED_CATEGORIES
+        .iter()
+        .copied()
+        .filter(|c| per_category.contains_key(*c))
+        .collect();
+    if covered.len() < MIN_LAYERS {
+        return Err(format!(
+            "{path}: only {}/{} expected layers present ({covered:?}); need {MIN_LAYERS}",
+            covered.len(),
+            EXPECTED_CATEGORIES.len()
+        ));
+    }
+    let mut report = format!(
+        "{path}: OK — {} events, {}/{} expected layers covered\n",
+        events.len(),
+        covered.len(),
+        EXPECTED_CATEGORIES.len()
+    );
+    for (cat, n) in &per_category {
+        writeln!(report, "  {cat:>10}  {n} spans").unwrap();
+    }
+    Ok(report)
+}
+
+fn run_report(telemetry: &TelemetryArgs) -> String {
+    // The fig4 (a) scenario at 3.0x: small shared pool that fills
+    // immediately, overflow absorbed by a tight remote tier.
+    let mut scale = SwapScale::bench();
+    scale.memory_fraction = 0.5;
+    scale.shared_donation = 0.25;
+    scale.remote_pool = ByteSize::from_mib(1);
+    let kind = SystemKind::FastSwap {
+        ratio: DistributionRatio::FS_SM,
+        compression: CompressionMode::FourGranularity,
+        pbs: true,
+    };
+    let mut engine = build_system_with_pages(kind, &scale, 3.0, 0.4).unwrap();
+    let profile = catalog::by_name("LogisticRegression").unwrap();
+    let accesses = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
+
+    engine.clock().tracer().enable();
+    let (stats, completion) = engine.run(accesses).unwrap();
+    engine.clock().tracer().disable();
+    let trace = engine.clock().tracer().finish();
+    telemetry.write_trace(&trace);
+
+    let mut out = String::new();
+    writeln!(out, "dmem-top — {} (virtual time)", engine.system_name()).unwrap();
+    writeln!(
+        out,
+        "run: LogisticRegression @50%, shared pool full, overflow to remote, 3.0x pages"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "completion: {:.1} ms   faults: {} major / {} minor   spans: {}",
+        completion.as_nanos() as f64 / 1e6,
+        stats.major_faults,
+        stats.minor_faults,
+        trace.spans.len()
+    )
+    .unwrap();
+
+    writeln!(out, "\n{}", trace.attribution(completion)).unwrap();
+
+    let mut per_category: BTreeMap<&str, usize> = BTreeMap::new();
+    for s in &trace.spans {
+        *per_category.entry(s.category).or_insert(0) += 1;
+    }
+    writeln!(out, "spans by layer:").unwrap();
+    for (cat, n) in &per_category {
+        writeln!(out, "  {cat:>10}  {n}").unwrap();
+    }
+
+    if let Some(dm) = engine.cluster() {
+        writeln!(out, "\n{}", dm.metrics()).unwrap();
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check-trace") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--check-trace needs a file argument");
+            return ExitCode::FAILURE;
+        };
+        return match check_trace(path) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("check-trace FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let telemetry = TelemetryArgs::parse(args.into_iter());
+    let report = run_report(&telemetry);
+    print!("{report}");
+    telemetry.write_metrics(&report);
+    ExitCode::SUCCESS
+}

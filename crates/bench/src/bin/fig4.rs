@@ -10,28 +10,69 @@
 //! memory before the next tier down is touched.
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin fig4`
+//!
+//! Telemetry: `--trace-out FILE` exports a Chrome-trace JSON (plus a
+//! `.jsonl` span log) from one extra traced pass run after the table;
+//! `--metrics-out FILE` writes the matching latency-attribution and
+//! histogram digest. The table and CSV are byte-identical with or
+//! without these flags — spans never advance the virtual clock and the
+//! untraced sweep never enables the tracer.
 
-use dmem_bench::{par_map, speedup, Table};
-use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
+use dmem_bench::{par_map, speedup, Table, TelemetryArgs};
+use dmem_swap::{build_system_with_pages, PagingEngine, SwapScale, SystemKind};
 use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
 use dmem_workloads::{catalog, TraceConfig};
 
 const RATIOS: [f64; 4] = [1.3, 2.0, 3.0, 4.5];
 
-fn run(scale: &SwapScale, mean_ratio: f64) -> u64 {
+fn build(scale: &SwapScale, mean_ratio: f64) -> PagingEngine {
     let kind = SystemKind::FastSwap {
         ratio: DistributionRatio::FS_SM,
         compression: CompressionMode::FourGranularity,
         pbs: true,
     };
-    let mut engine = build_system_with_pages(kind, scale, mean_ratio, 0.4).unwrap();
+    build_system_with_pages(kind, scale, mean_ratio, 0.4).unwrap()
+}
+
+fn workload(scale: &SwapScale) -> dmem_workloads::traces::Trace {
     let profile = catalog::by_name("LogisticRegression").unwrap();
-    let trace = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
-    let (_, completion) = engine.run(trace).unwrap();
+    TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed)
+}
+
+fn run(scale: &SwapScale, mean_ratio: f64) -> u64 {
+    let mut engine = build(scale, mean_ratio);
+    let (_, completion) = engine.run(workload(scale)).unwrap();
     completion.as_nanos()
 }
 
+/// One extra pass with the tracer on, exporting spans and the metrics
+/// digest. Runs the same deterministic sim as the table's 3.0x remote
+/// cell; virtual time is identical to the untraced run.
+fn traced_run(scale: &SwapScale, mean_ratio: f64, telemetry: &TelemetryArgs) {
+    let mut engine = build(scale, mean_ratio);
+    engine.clock().tracer().enable();
+    let (_, completion) = engine.run(workload(scale)).unwrap();
+    engine.clock().tracer().disable();
+    let spans = engine.clock().tracer().finish();
+    telemetry.write_trace(&spans);
+
+    use std::fmt::Write as _;
+    let mut digest = String::new();
+    writeln!(
+        digest,
+        "fig4 traced pass: LogisticRegression @50%, overflow to remote, {mean_ratio:.1}x pages"
+    )
+    .unwrap();
+    writeln!(digest, "completion: {} ns", completion.as_nanos()).unwrap();
+    writeln!(digest, "\n{}", spans.attribution(completion)).unwrap();
+    if let Some(dm) = engine.cluster() {
+        writeln!(digest, "\n{}", dm.metrics()).unwrap();
+    }
+    telemetry.write_metrics(&digest);
+}
+
 fn main() {
+    let telemetry = TelemetryArgs::from_env();
     // A small shared pool that fills immediately; the sweep varies how far
     // the compressed overflow reaches into the next tier.
     let mut remote_scale = SwapScale::bench();
@@ -77,4 +118,8 @@ fn main() {
     table.emit("fig4");
     println!("\nShape check (paper): completion time falls with compressibility on both");
     println!("overflow devices, and the remote tier beats the disk tier throughout.");
+
+    if telemetry.requested() {
+        traced_run(&remote_scale, 3.0, &telemetry);
+    }
 }

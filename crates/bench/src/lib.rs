@@ -114,6 +114,91 @@ impl Table {
     }
 }
 
+/// Telemetry destinations parsed from `--trace-out FILE` and
+/// `--metrics-out FILE` (both also accept `--flag=FILE`).
+///
+/// When either flag is present the figure binary runs one extra traced
+/// pass after its normal table: the regular CSV stays byte-identical
+/// (tracing never advances the virtual clock, and the untraced runs never
+/// even format a span), and the traced pass exports its spans/metrics to
+/// the requested files.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryArgs {
+    /// Chrome-trace JSON destination; a compact `.jsonl` span log is
+    /// written next to it.
+    pub trace_out: Option<PathBuf>,
+    /// Destination for the metrics digest (histograms + attribution).
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl TelemetryArgs {
+    /// Parses the two flags out of an argument list, ignoring everything
+    /// else (figure binaries have no other flags today).
+    pub fn parse<I>(args: I) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = TelemetryArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |slot: &mut Option<PathBuf>, flag: &str| {
+                if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                    *slot = Some(PathBuf::from(v));
+                } else if arg == flag {
+                    *slot = args.next().map(PathBuf::from);
+                }
+            };
+            take(&mut out.trace_out, "--trace-out");
+            take(&mut out.metrics_out, "--metrics-out");
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        TelemetryArgs::parse(std::env::args().skip(1))
+    }
+
+    /// `true` when any telemetry output was requested.
+    pub fn requested(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Writes the Chrome-trace JSON (plus the `.jsonl` sibling) if
+    /// `--trace-out` was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — the bench binaries want loud failures.
+    pub fn write_trace(&self, trace: &dmem_sim::Trace) {
+        if let Some(path) = &self.trace_out {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fs::create_dir_all(dir).expect("create trace dir");
+            }
+            fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
+            println!("[written {}]", path.display());
+            let jsonl = path.with_extension("jsonl");
+            fs::write(&jsonl, trace.to_jsonl()).expect("write span log");
+            println!("[written {}]", jsonl.display());
+        }
+    }
+
+    /// Writes the metrics digest if `--metrics-out` was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — the bench binaries want loud failures.
+    pub fn write_metrics(&self, body: &str) {
+        if let Some(path) = &self.metrics_out {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fs::create_dir_all(dir).expect("create metrics dir");
+            }
+            fs::write(path, body).expect("write metrics digest");
+            println!("[written {}]", path.display());
+        }
+    }
+}
+
 /// Formats a speedup like the paper quotes them.
 pub fn speedup(baseline_ns: u64, system_ns: u64) -> String {
     format!("{:.1}x", baseline_ns as f64 / system_ns.max(1) as f64)
@@ -159,6 +244,18 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_checked() {
         Table::new("demo", &["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn telemetry_args_parse_both_forms() {
+        let args = ["--trace-out", "a.json", "--metrics-out=b.txt", "ignored"]
+            .iter()
+            .map(|s| (*s).to_owned());
+        let t = TelemetryArgs::parse(args);
+        assert_eq!(t.trace_out.as_deref(), Some(std::path::Path::new("a.json")));
+        assert_eq!(t.metrics_out.as_deref(), Some(std::path::Path::new("b.txt")));
+        assert!(t.requested());
+        assert!(!TelemetryArgs::parse(std::iter::empty()).requested());
     }
 
     #[test]

@@ -201,8 +201,12 @@ impl RemoteStore {
         if batch.is_empty() {
             return Ok(());
         }
-        self.control_roundtrip(from, to)?;
         let total: u64 = batch.iter().map(|(_, d)| d.len() as u64).sum();
+        let span = self.fabric.clock().tracer().span("cluster", "store_batch");
+        span.tag("host", to);
+        span.tag("entries", batch.len());
+        span.tag("bytes", total);
+        self.control_roundtrip(from, to)?;
         // Replacing existing entries frees their old extents first so a
         // steady-state rewrite of the same window never grows the pool.
         let mut hosts = self.hosts.lock();
@@ -325,6 +329,9 @@ impl RemoteStore {
         if entries.is_empty() {
             return Ok(Vec::new());
         }
+        let span = self.fabric.clock().tracer().span("cluster", "load_batch");
+        span.tag("host", to);
+        span.tag("entries", entries.len());
         self.control_roundtrip(from, to)?;
         let (region, extents) = {
             let hosts = self.hosts.lock();

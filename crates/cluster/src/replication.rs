@@ -227,6 +227,13 @@ impl Replicator {
         entry: EntryId,
         replicas: &ReplicaSet,
     ) -> DmemResult<ReplicaSet> {
+        let span = self
+            .store
+            .fabric()
+            .clock()
+            .tracer()
+            .span("cluster", "re_replicate");
+        span.tag("entry", entry);
         let survivors: Vec<NodeId> = replicas
             .nodes
             .iter()

@@ -14,6 +14,8 @@ use std::fmt;
 pub struct DiskTier {
     clock: SimClock,
     device: DeviceCost,
+    /// Span category for this tier's device accesses ("disk", "nvm", …).
+    label: &'static str,
     disks: Mutex<HashMap<NodeId, HashMap<EntryId, Vec<u8>>>>,
 }
 
@@ -28,15 +30,24 @@ impl DiskTier {
     /// the NVM and SSD extension tiers, which share the same per-node
     /// store-entry semantics with different costs.
     pub fn with_device(clock: SimClock, device: DeviceCost) -> Self {
+        DiskTier::with_device_labeled(clock, device, "disk")
+    }
+
+    /// [`DiskTier::with_device`] with an explicit trace-span category, so
+    /// NVM accesses are attributed separately from spinning disk.
+    pub fn with_device_labeled(clock: SimClock, device: DeviceCost, label: &'static str) -> Self {
         DiskTier {
             clock,
             device,
+            label,
             disks: Mutex::new(HashMap::new()),
         }
     }
 
     /// Writes `data` for `entry` on `node`'s disk.
     pub fn store(&self, node: NodeId, entry: EntryId, data: Vec<u8>) {
+        let span = self.clock.tracer().span(self.label, "store");
+        span.tag("bytes", data.len());
         self.clock.advance(self.device.transfer(data.len()));
         self.disks
             .lock()
@@ -48,6 +59,9 @@ impl DiskTier {
     /// Writes a batch in one sequential disk operation (single seek).
     pub fn store_batch(&self, node: NodeId, batch: Vec<(EntryId, Vec<u8>)>) {
         let total: usize = batch.iter().map(|(_, d)| d.len()).sum();
+        let span = self.clock.tracer().span(self.label, "store_batch");
+        span.tag("bytes", total);
+        span.tag("entries", batch.len());
         self.clock.advance(self.device.transfer(total));
         let mut disks = self.disks.lock();
         let disk = disks.entry(node).or_default();
@@ -69,6 +83,8 @@ impl DiskTier {
             .cloned()
             .ok_or(DmemError::EntryNotFound(entry))?;
         drop(disks);
+        let span = self.clock.tracer().span(self.label, "load");
+        span.tag("bytes", data.len());
         self.clock.advance(self.device.transfer(data.len()));
         Ok(data)
     }
@@ -94,6 +110,9 @@ impl DiskTier {
             out.push(data);
         }
         drop(disks);
+        let span = self.clock.tracer().span(self.label, "load_batch");
+        span.tag("bytes", total);
+        span.tag("entries", entries.len());
         self.clock.advance(self.device.transfer(total));
         Ok(out)
     }

@@ -126,7 +126,7 @@ impl DisaggregatedMemory {
         let placer = Placer::new(config.placement, membership.clone(), rng.fork("placement"));
         let replicator = Replicator::new(Arc::clone(&remote), placer, config.replication);
         let disk = DiskTier::new(clock.clone(), cost);
-        let nvm = DiskTier::with_device(clock.clone(), cost.nvm);
+        let nvm = DiskTier::with_device_labeled(clock.clone(), cost.nvm, "nvm");
         let codec = PageCodec::new(config.compression);
 
         let maps = servers
@@ -250,6 +250,15 @@ impl DisaggregatedMemory {
             .collect())
     }
 
+    fn tier_name(location: &EntryLocation) -> &'static str {
+        match location {
+            EntryLocation::NodeShared { .. } => "shared",
+            EntryLocation::Remote { .. } => "remote",
+            EntryLocation::Nvm => "nvm",
+            EntryLocation::Disk => "disk",
+        }
+    }
+
     fn memo_key(entry: EntryId) -> (u64, u64) {
         let server = entry.owner();
         let server_key =
@@ -264,6 +273,8 @@ impl DisaggregatedMemory {
                 .lock()
                 .get_or_compress(Self::memo_key(entry), &self.codec, data);
             if page.is_compressed {
+                let span = self.clock.tracer().span("compress", "compress");
+                span.tag("bytes", page.original_len);
                 self.clock.advance(self.cost.compress_page);
             }
             let record = EntryRecord {
@@ -294,7 +305,10 @@ impl DisaggregatedMemory {
 
     fn recover(&self, record: &EntryRecord, stored: Vec<u8>) -> DmemResult<Vec<u8>> {
         if let Some(class) = record.class {
+            let span = self.clock.tracer().span("compress", "decompress");
+            span.tag("bytes", record.len);
             self.clock.advance(self.cost.decompress_page);
+            drop(span);
             let page = CompressedPage {
                 data: stored,
                 class,
@@ -381,6 +395,8 @@ impl DisaggregatedMemory {
         if !self.failures.is_server_up(server) {
             return Err(DmemError::ServerUnavailable(server));
         }
+        let span = self.clock.tracer().span("core", "put");
+        let t0 = self.clock.now();
         let entry = EntryId::new(server, key);
         // Replace semantics: release the previous incarnation.
         if let Some(old) = self.maps.lock().get_mut(&server).and_then(|m| m.remove(key)) {
@@ -453,6 +469,10 @@ impl DisaggregatedMemory {
                 }
             },
         };
+        span.tag("tier", Self::tier_name(&location));
+        self.metrics
+            .histogram("core.put.ns")
+            .record((self.clock.now() - t0).as_nanos());
         record.location = location;
         self.maps
             .lock()
@@ -543,6 +563,9 @@ impl DisaggregatedMemory {
             .get(&server)
             .and_then(|m| m.get(key).cloned())
             .ok_or(DmemError::EntryNotFound(entry))?;
+        let span = self.clock.tracer().span("core", "get");
+        span.tag("tier", Self::tier_name(&record.location));
+        let t0 = self.clock.now();
         let stored = match &record.location {
             EntryLocation::NodeShared { .. } => {
                 let manager = self
@@ -561,7 +584,11 @@ impl DisaggregatedMemory {
             EntryLocation::Nvm => self.nvm.load(server.node(), entry)?,
             EntryLocation::Disk => self.disk.load(server.node(), entry)?,
         };
-        self.recover(&record, stored)
+        let out = self.recover(&record, stored);
+        self.metrics
+            .histogram("core.get.ns")
+            .record((self.clock.now() - t0).as_nanos());
+        out
     }
 
     /// Reads several entries, batching remote and disk fetches per
@@ -573,6 +600,8 @@ impl DisaggregatedMemory {
     ///
     /// Fails on the first unreadable entry, with no partial results.
     pub fn get_batch(&self, server: ServerId, keys: &[u64]) -> DmemResult<Vec<Vec<u8>>> {
+        let span = self.clock.tracer().span("core", "get_batch");
+        span.tag("entries", keys.len());
         // Group keys by (tier, primary host) while remembering positions.
         let mut records = Vec::with_capacity(keys.len());
         {
@@ -590,8 +619,11 @@ impl DisaggregatedMemory {
         }
         let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
 
-        // Remote batches by primary replica.
-        let mut by_primary: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        // Remote batches by primary replica. BTreeMap so hosts are read
+        // in node order: virtual totals are order-independent, but span
+        // boundaries (and thus trace exports) must not vary run-to-run.
+        let mut by_primary: std::collections::BTreeMap<NodeId, Vec<usize>> =
+            std::collections::BTreeMap::new();
         let mut disk_idx: Vec<usize> = Vec::new();
         for (i, record) in records.iter().enumerate() {
             match &record.location {
@@ -654,6 +686,8 @@ impl DisaggregatedMemory {
         if !self.failures.is_server_up(server) {
             return Err(DmemError::ServerUnavailable(server));
         }
+        let span = self.clock.tracer().span("core", "put_batch");
+        span.tag("entries", batch.len());
         let node = server.node();
         let mut remote_items: Vec<(u64, Vec<u8>, EntryRecord)> = Vec::new();
         for (key, data) in batch {
@@ -829,7 +863,9 @@ impl DisaggregatedMemory {
     ///
     /// Propagates evictor-level failures.
     pub fn run_eviction(&self, evictor: &RemoteSlabEvictor, placer: &Placer) -> DmemResult<EvictionOutcome> {
+        let span = self.clock.tracer().span("cluster", "evict_scan");
         let outcome = evictor.scan(&self.remote, placer)?;
+        span.tag("moves", outcome.moves.len());
         let mut maps = self.maps.lock();
         for (entry, from, to) in &outcome.moves {
             if let Some(map) = maps.get_mut(&entry.owner()) {
@@ -842,7 +878,8 @@ impl DisaggregatedMemory {
     /// Repairs every degraded remote replica set (after node failures),
     /// returning how many entries were re-replicated.
     pub fn repair_replicas(&self) -> usize {
-        let snapshot: Vec<(ServerId, u64, Vec<NodeId>)> = {
+        let span = self.clock.tracer().span("cluster", "repair");
+        let mut snapshot: Vec<(ServerId, u64, Vec<NodeId>)> = {
             let maps = self.maps.lock();
             maps.iter()
                 .flat_map(|(server, map)| {
@@ -857,6 +894,11 @@ impl DisaggregatedMemory {
                 })
                 .collect()
         };
+        // Repair in (server, key) order: the snapshot above walks two
+        // `HashMap`s, and repair order feeds the placement RNG and every
+        // host's allocator, so map order would make all downstream
+        // placement — and the per-seed metrics digest — vary run-to-run.
+        snapshot.sort_unstable_by_key(|(server, key, _)| (*server, *key));
         let mut repaired = 0;
         for (server, key, replicas) in snapshot {
             let entry = EntryId::new(server, key);
@@ -877,6 +919,7 @@ impl DisaggregatedMemory {
                 }
             }
         }
+        span.tag("repaired", repaired);
         repaired
     }
 

@@ -153,6 +153,8 @@ impl Fabric {
             return Err(DmemError::NodeUnavailable(node));
         }
         let pages = len.pages(4096);
+        let span = self.clock.tracer().span("net", "register");
+        span.tag("bytes", len.as_u64());
         self.clock
             .advance(self.cost.rdma.base * pages.div_ceil(256).max(1));
         let mr = MrId::new(self.fresh_id());
@@ -303,8 +305,12 @@ impl Fabric {
     /// ([`DmemError::RegionOutOfBounds`]), or the region is not on the
     /// peer node ([`DmemError::AccessDenied`]).
     pub fn write(&self, qp: &QpHandle, data: &[u8], region: &RegionHandle, offset: u64) -> DmemResult<()> {
+        let span = self.clock.tracer().span("net", "write");
+        span.tag("bytes", data.len());
         self.one_sided_access(qp, region, offset, data.len())?;
+        let t0 = self.clock.now();
         self.clock.advance(self.cost.rdma.transfer(data.len()));
+        let elapsed = self.clock.now() - t0;
         let mut inner = self.inner.lock();
         let r = inner
             .regions
@@ -314,6 +320,7 @@ impl Fabric {
         r.buf[start..start + data.len()].copy_from_slice(data);
         self.metrics.counter("net.write.ops").inc();
         self.metrics.counter("net.write.bytes").add(data.len() as u64);
+        self.metrics.histogram("net.write.ns").record(elapsed.as_nanos());
         Ok(())
     }
 
@@ -323,8 +330,12 @@ impl Fabric {
     ///
     /// Same failure modes as [`Fabric::write`].
     pub fn read(&self, qp: &QpHandle, region: &RegionHandle, offset: u64, len: usize) -> DmemResult<Vec<u8>> {
+        let span = self.clock.tracer().span("net", "read");
+        span.tag("bytes", len);
         self.one_sided_access(qp, region, offset, len)?;
+        let t0 = self.clock.now();
         self.clock.advance(self.cost.rdma.transfer(len));
+        let elapsed = self.clock.now() - t0;
         let inner = self.inner.lock();
         let r = inner
             .regions
@@ -334,6 +345,7 @@ impl Fabric {
         let out = r.buf[start..start + len].to_vec();
         self.metrics.counter("net.read.ops").inc();
         self.metrics.counter("net.read.bytes").add(len as u64);
+        self.metrics.histogram("net.read.ns").record(elapsed.as_nanos());
         Ok(out)
     }
 
@@ -383,7 +395,10 @@ impl Fabric {
     ///
     /// Fails with the same path errors as the one-sided verbs.
     pub fn send(&self, qp: &QpHandle, msg: Vec<u8>) -> DmemResult<u64> {
+        let span = self.clock.tracer().span("net", "send");
+        span.tag("bytes", msg.len());
         self.check_qp(qp)?;
+        let msg_len = msg.len() as u64;
         self.clock.advance(self.cost.rdma.transfer(msg.len()));
         let mut inner = self.inner.lock();
         let state = inner
@@ -404,6 +419,7 @@ impl Fabric {
             state.seq_from_b
         };
         self.metrics.counter("net.send.ops").inc();
+        self.metrics.counter("net.send.bytes").add(msg_len);
         Ok(seq)
     }
 
@@ -426,6 +442,11 @@ impl Fabric {
         } else {
             state.to_b.pop_front()
         };
+        if let Some(msg) = &msg {
+            // Symmetric to send: count delivered messages and bytes.
+            self.metrics.counter("net.recv.ops").inc();
+            self.metrics.counter("net.recv.bytes").add(msg.len() as u64);
+        }
         Ok(msg)
     }
 
@@ -448,6 +469,19 @@ impl Fabric {
             .unwrap_or(SimInstant::EPOCH)
             .max(now);
         let done = start + self.cost.rdma.transfer(bytes);
+        // Posted transfers overlap the caller's compute, so they become
+        // async spans (timeline-only, excluded from attribution) with the
+        // bandwidth-queueing delay made explicit.
+        self.clock.tracer().record_async(
+            "net",
+            match kind {
+                CompletionKind::Write => "post_write.transfer",
+                CompletionKind::Read => "post_read.transfer",
+            },
+            now,
+            done,
+            &[("bytes", bytes as u64), ("queued_ns", (start - now).as_nanos())],
+        );
         inner.busy_until.insert(qp.qp, done);
         inner
             .cqs
@@ -783,6 +817,55 @@ mod tests {
             f.post_write(&qp, &[1], &mr, 0),
             Err(DmemError::LinkDown { .. })
         ));
+    }
+
+    #[test]
+    fn send_recv_counters_symmetric() {
+        let (_, _, f) = fabric();
+        let qp_a = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        let qp_b = f.peer_handle(&qp_a);
+        f.send(&qp_a, vec![0; 48]).unwrap();
+        f.send(&qp_a, vec![0; 16]).unwrap();
+        assert_eq!(f.recv(&qp_b).unwrap().unwrap().len(), 48);
+        // An empty poll must not count as a delivery.
+        assert_eq!(f.recv(&qp_a).unwrap(), None);
+        assert_eq!(f.metrics().counter("net.send.ops").get(), 2);
+        assert_eq!(f.metrics().counter("net.send.bytes").get(), 64);
+        assert_eq!(f.metrics().counter("net.recv.ops").get(), 1);
+        assert_eq!(f.metrics().counter("net.recv.bytes").get(), 48);
+        assert_eq!(f.recv(&qp_b).unwrap().unwrap().len(), 16);
+        assert_eq!(f.metrics().counter("net.recv.bytes").get(), 64);
+    }
+
+    #[test]
+    fn verbs_emit_spans_and_latency_histograms() {
+        let (clock, _, f) = fabric();
+        clock.tracer().enable();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(8)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        f.write(&qp, &[0u8; 4096], &mr, 0).unwrap();
+        f.read(&qp, &mr, 0, 4096).unwrap();
+        f.post_write(&qp, &[1u8; 4096], &mr, 0).unwrap();
+        f.wait_cq(&qp);
+        let trace = clock.tracer().finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"register"));
+        assert!(names.contains(&"write"));
+        assert!(names.contains(&"read"));
+        assert!(names.contains(&"post_write.transfer"));
+        // Sync verb spans carry their virtual cost; histograms agree.
+        let write = trace.spans.iter().find(|s| s.name == "write").unwrap();
+        assert_eq!(
+            f.metrics().histogram("net.write.ns").summary().count,
+            1
+        );
+        assert!(write.duration().as_nanos() > 0);
+        let post = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "post_write.transfer")
+            .unwrap();
+        assert_eq!(post.kind, dmem_sim::SpanKind::Async);
     }
 
     #[test]

@@ -153,6 +153,15 @@ impl BlockManager {
 
     fn spill_out(&mut self, id: BlockId, bytes: Vec<u8>) -> DmemResult<()> {
         let len = bytes.len();
+        let span = self.clock.tracer().span("rdd", "spill.out");
+        span.tag("bytes", len);
+        span.tag(
+            "tier",
+            match &self.backend {
+                SpillBackend::VanillaDisk { .. } => "disk",
+                SpillBackend::Dahi { .. } => "dmem",
+            },
+        );
         match &self.backend {
             SpillBackend::VanillaDisk { disk, node, server } => {
                 disk.store(*node, EntryId::new(*server, id.chunk_key(0)), bytes);
@@ -173,6 +182,15 @@ impl BlockManager {
 
     fn spill_in(&mut self, id: BlockId) -> DmemResult<Vec<u8>> {
         let len = *self.spilled.get(&id).expect("caller checked membership");
+        let span = self.clock.tracer().span("rdd", "spill.in");
+        span.tag("bytes", len);
+        span.tag(
+            "tier",
+            match &self.backend {
+                SpillBackend::VanillaDisk { .. } => "disk",
+                SpillBackend::Dahi { .. } => "dmem",
+            },
+        );
         match &self.backend {
             SpillBackend::VanillaDisk { disk, node, server } => {
                 disk.load(*node, EntryId::new(*server, id.chunk_key(0)))

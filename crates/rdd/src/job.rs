@@ -241,16 +241,26 @@ pub fn run_iterative_job(
 
     // Materialize & cache the dataset (the first pass computes from
     // lineage and caches; Spark does the same on the first action).
-    for p in 0..spec.partitions {
-        let records = dataset.compute(p, &no_cache);
-        clock.advance(spec.compute_per_record * records.len() as u64);
-        bm.put(BlockId::new(dataset.id(), p), records)?;
+    {
+        let stage = clock.tracer().span("rdd", "materialize");
+        stage.tag("partitions", spec.partitions);
+        for p in 0..spec.partitions {
+            let task = clock.tracer().span("rdd", "task");
+            task.tag("partition", p);
+            let records = dataset.compute(p, &no_cache);
+            clock.advance(spec.compute_per_record * records.len() as u64);
+            bm.put(BlockId::new(dataset.id(), p), records)?;
+        }
     }
 
     // Iterations: read every cached partition, compute, aggregate.
-    for _iter in 0..spec.iterations {
+    for iter in 0..spec.iterations {
+        let stage = clock.tracer().span("rdd", "iteration");
+        stage.tag("iter", iter);
         let mut aggregate = vec![0.0f64; spec.values_per_record];
         for p in 0..spec.partitions {
+            let task = clock.tracer().span("rdd", "task");
+            task.tag("partition", p);
             let records = match bm.get(BlockId::new(dataset.id(), p))? {
                 Some(r) => r,
                 None => {

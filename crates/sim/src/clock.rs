@@ -1,6 +1,7 @@
 //! The shared virtual clock.
 
 use crate::time::{SimDuration, SimInstant};
+use crate::trace::Tracer;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -10,6 +11,11 @@ use std::sync::Arc;
 /// All components of one simulated cluster share a single clock; device
 /// models advance it by the modelled cost of each operation. Time never
 /// goes backwards.
+///
+/// The clock also carries the cluster's span [`Tracer`]: since every
+/// component already holds a clone of the clock, every component can emit
+/// virtual-time spans with no extra plumbing. Tracing is disabled (and
+/// free) unless [`Tracer::enable`] is called.
 ///
 /// # Examples
 ///
@@ -21,17 +27,30 @@ use std::sync::Arc;
 /// clock.advance(SimDuration::from_micros(2));
 /// assert_eq!(view.now().nanos(), 2_000);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SimClock {
     now_ns: Arc<AtomicU64>,
+    tracer: Tracer,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
 }
 
 impl SimClock {
     /// Creates a clock at the simulation epoch.
     pub fn new() -> Self {
-        SimClock {
-            now_ns: Arc::new(AtomicU64::new(0)),
-        }
+        let now_ns = Arc::new(AtomicU64::new(0));
+        let tracer = Tracer::new(Arc::clone(&now_ns));
+        SimClock { now_ns, tracer }
+    }
+
+    /// The span collector stamped from this clock. Clones of the clock
+    /// share the tracer, so enabling it anywhere enables it everywhere.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The current virtual time.

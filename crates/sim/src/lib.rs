@@ -16,6 +16,10 @@
 //! * [`metrics`] — counters, gauges and log-bucket histograms.
 //! * [`events`] — a small discrete-event queue for timers (heartbeats,
 //!   re-replication, eviction scans).
+//! * [`trace`] — deterministic virtual-clock spans, time attribution and
+//!   Chrome-trace/Perfetto + JSONL exporters.
+//! * [`jsonlite`] — a dependency-free JSON parser used to validate
+//!   exported traces.
 //!
 //! # Examples
 //!
@@ -38,15 +42,18 @@ pub mod clock;
 pub mod cost;
 pub mod events;
 pub mod failure;
+pub mod jsonlite;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosSchedule, ChaosStep};
 pub use clock::SimClock;
 pub use cost::{CostModel, DeviceCost};
 pub use events::EventQueue;
 pub use failure::{FailureEvent, FailureInjector};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimInstant};
+pub use trace::{Attribution, AttributionRow, SpanGuard, SpanKind, SpanRecord, Trace, Tracer};

@@ -60,8 +60,12 @@ impl Gauge {
 
 /// A power-of-two-bucket histogram for latency-style values.
 ///
-/// Values are assigned to bucket `⌈log2(v)⌉`; 64 buckets cover the full
-/// `u64` range. Memory is constant and recording is lock-free.
+/// Bucket edges are pinned as follows: bucket 0 holds `{0, 1}` and
+/// reports upper bound `1`; bucket `k ≥ 1` holds the half-open-below
+/// range `(2^(k-1), 2^k]` and reports upper bound `2^k`. In particular a
+/// value of exactly `2^k` lands in bucket `k`, so `quantile` never
+/// over-reports an exact power of two by a whole bucket. 65 buckets cover
+/// the full `u64` range. Memory is constant and recording is lock-free.
 ///
 /// # Examples
 ///
@@ -75,6 +79,11 @@ impl Gauge {
 /// assert_eq!(h.count(), 4);
 /// assert!(h.mean() > 300.0 && h.mean() < 400.0);
 /// assert!(h.quantile(0.5) >= 200);
+///
+/// // Exact powers of two report their own value as the bucket bound.
+/// let p = Histogram::new();
+/// p.record(1024);
+/// assert_eq!(p.quantile(0.5), 1024);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -91,11 +100,16 @@ impl Histogram {
         }
     }
 
+    /// `⌈log2(v)⌉` with `{0, 1} → 0`: bucket `k` covers `(2^(k-1), 2^k]`,
+    /// so exact powers of two stay in the bucket whose upper bound they
+    /// equal. (The previous `64 - v.leading_zeros()` indexing pushed
+    /// `2^k` into bucket `k + 1`, inflating reported quantiles of
+    /// power-of-two-heavy data by up to 2×.)
     fn bucket_index(value: u64) -> usize {
-        if value == 0 {
+        if value <= 1 {
             0
         } else {
-            64 - value.leading_zeros() as usize
+            64 - (value - 1).leading_zeros() as usize
         }
     }
 
@@ -129,7 +143,9 @@ impl Histogram {
     }
 
     /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
-    /// containing the q-th observation. Zero when empty.
+    /// containing the q-th observation (`1` for bucket 0, `2^i` for
+    /// bucket `i ≥ 1` — see the type docs for the exact edges). Zero when
+    /// empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -140,10 +156,57 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+                return if i == 0 { 1 } else { 1u64 << i.min(63) };
             }
         }
         u64::MAX
+    }
+
+    /// Upper bound of the highest non-empty bucket (an upper bound on the
+    /// maximum observation). Zero when empty.
+    pub fn max_bound(&self) -> u64 {
+        for i in (0..self.buckets.len()).rev() {
+            if self.buckets[i].load(Ordering::Relaxed) > 0 {
+                return if i == 0 { 1 } else { 1u64 << i.min(63) };
+            }
+        }
+        0
+    }
+
+    /// Compact summary for dumps and reports.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            max: self.max_bound(),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Bucket upper bound of the median.
+    pub p50: u64,
+    /// Bucket upper bound of the 99th percentile.
+    pub p99: u64,
+    /// Bucket upper bound of the maximum.
+    pub max: u64,
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} mean={:.1} p50={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p99, self.max
+        )
     }
 }
 
@@ -222,6 +285,15 @@ impl MetricsRegistry {
             .map(|(k, v)| (k.clone(), v.get()))
             .collect()
     }
+
+    /// Snapshot of all histogram summaries, sorted by name.
+    pub fn histogram_snapshot(&self) -> Vec<(String, HistogramSummary)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect()
+    }
 }
 
 impl fmt::Display for MetricsRegistry {
@@ -231,6 +303,9 @@ impl fmt::Display for MetricsRegistry {
         }
         for (name, value) in self.gauge_snapshot() {
             writeln!(f, "{name} = {value}")?;
+        }
+        for (name, summary) in self.histogram_snapshot() {
+            writeln!(f, "{name} = {summary}")?;
         }
         Ok(())
     }
@@ -286,6 +361,46 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max_bound(), 0);
+    }
+
+    /// Pins the bucket-edge semantics: bucket k covers (2^(k-1), 2^k],
+    /// so a value of exactly 2^k reports 2^k — not 2^(k+1) — as its
+    /// quantile bound.
+    #[test]
+    fn histogram_exact_powers_of_two_stay_in_their_bucket() {
+        for k in 1..=62u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(v), k as usize, "2^{k}");
+            assert_eq!(Histogram::bucket_index(v + 1), k as usize + 1, "2^{k}+1");
+            let h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "quantile of single 2^{k}");
+            assert_eq!(h.max_bound(), v);
+        }
+        // Bucket 0 holds {0, 1} and reports upper bound 1.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.max_bound(), 1);
+    }
+
+    #[test]
+    fn histogram_summary_reports_quantiles() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert_eq!(s.p50, 512);
+        assert_eq!(s.p99, 1024);
+        assert_eq!(s.max, 1024);
+        assert!(s.to_string().contains("p99=1024"));
     }
 
     #[test]
@@ -306,6 +421,22 @@ mod tests {
         assert_eq!(snap[0].0, "a");
         assert_eq!(snap[1].0, "z");
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn registry_display_includes_histograms() {
+        let r = MetricsRegistry::new();
+        r.histogram("net.write.ns").record(300);
+        r.histogram("net.write.ns").record(900);
+        let snap = r.histogram_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "net.write.ns");
+        assert_eq!(snap[0].1.count, 2);
+        let dump = r.to_string();
+        assert!(
+            dump.contains("net.write.ns = count=2"),
+            "histograms missing from dump: {dump}"
+        );
     }
 
     proptest! {

@@ -1,6 +1,8 @@
 //! The swap backend abstraction.
 
+use dmem_core::DisaggregatedMemory;
 use dmem_types::DmemResult;
+use std::sync::Arc;
 
 /// A destination for swapped-out pages.
 ///
@@ -34,6 +36,13 @@ pub trait SwapBackend {
     /// Drops the backend's copy of a page (called when a resident page is
     /// dirtied, invalidating the swap-cache copy).
     fn invalidate(&mut self, pfn: u64);
+
+    /// The disaggregated-memory cluster behind this backend, when there
+    /// is one. Telemetry consumers use it to reach the cluster's
+    /// [`MetricsRegistry`](dmem_sim::MetricsRegistry).
+    fn cluster(&self) -> Option<&Arc<DisaggregatedMemory>> {
+        None
+    }
 }
 
 /// Convenience: store a single page.

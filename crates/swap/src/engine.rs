@@ -199,6 +199,12 @@ impl PagingEngine {
         &self.clock
     }
 
+    /// The disaggregated-memory cluster behind the backend, when there is
+    /// one (see [`SwapBackend::cluster`]).
+    pub fn cluster(&self) -> Option<&std::sync::Arc<dmem_core::DisaggregatedMemory>> {
+        self.backend.cluster()
+    }
+
     /// Pages currently resident.
     pub fn resident_pages(&self) -> usize {
         self.frames.len()
@@ -217,6 +223,8 @@ impl PagingEngine {
         if self.writeback.is_empty() {
             return Ok(());
         }
+        let span = self.clock.tracer().span("swap", "out");
+        span.tag("pages", self.writeback.len());
         self.backend.store_batch(&self.writeback)?;
         self.stats.swap_outs += self.writeback.len() as u64;
         for (pfn, buf) in self.writeback.drain(..) {
@@ -233,6 +241,8 @@ impl PagingEngine {
             self.stats.clean_evictions += 1;
             return Ok(());
         }
+        let span = self.clock.tracer().span("swap", "evict");
+        span.tag("pfn", victim);
         let mut buf = self.page_pool.pop().unwrap_or_default();
         self.source.page_into(victim, &mut buf);
         self.writeback.push((victim, buf));
@@ -286,6 +296,7 @@ impl PagingEngine {
 
         if self.in_backend.contains(pfn) {
             self.stats.major_faults += 1;
+            let span = self.clock.tracer().span("swap", "in");
             self.clock.advance(self.config.fault_overhead);
             // Assemble the swap-in window: the faulted page plus up to
             // window-1 contiguous swapped-out successors (PBS).
@@ -322,6 +333,8 @@ impl PagingEngine {
                 }
             }
             let batch_len = self.fault_batch.len();
+            span.tag("pages", batch_len);
+            span.tag("mode", if sequential { "readahead" } else { "demand" });
             self.ensure_frames(batch_len)?;
             let _pages = self.backend.load_batch(&self.fault_batch)?;
             self.stats.swap_ins += batch_len as u64;
@@ -370,6 +383,8 @@ impl PagingEngine {
             return Ok(());
         }
         let batch_len = self.restore_batch.len();
+        let span = self.clock.tracer().span("swap", "restore");
+        span.tag("pages", batch_len);
         let _pages = self.backend.load_batch(&self.restore_batch)?;
         self.stats.swap_ins += batch_len as u64;
         self.stats.proactive_restores += batch_len as u64;

@@ -75,6 +75,9 @@ impl SwapBackend for FastSwapBackend {
     fn store_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> DmemResult<()> {
         match self.mode {
             FastSwapMode::DiskCompressed => {
+                let span = self.dm.clock().tracer().span("swap", "fs.store");
+                span.tag("route", "disk");
+                span.tag("pages", pages.len());
                 let batch: Vec<(u64, Vec<u8>)> = pages.to_vec();
                 self.dm.put_batch(self.server, batch, TierPreference::Disk)
             }
@@ -88,6 +91,9 @@ impl SwapBackend for FastSwapBackend {
                         remote_batch.push((*pfn, data.clone()));
                     }
                 }
+                let span = self.dm.clock().tracer().span("swap", "fs.store");
+                span.tag("shared", shared_batch.len());
+                span.tag("remote", remote_batch.len());
                 if !shared_batch.is_empty() {
                     // Auto tiers shared -> remote -> disk, with the
                     // overflow legs batched (one replica set per window,
@@ -114,6 +120,10 @@ impl SwapBackend for FastSwapBackend {
 
     fn invalidate(&mut self, pfn: u64) {
         let _ = self.dm.delete(self.server, pfn);
+    }
+
+    fn cluster(&self) -> Option<&Arc<DisaggregatedMemory>> {
+        Some(&self.dm)
     }
 }
 

@@ -59,10 +59,12 @@ impl SwapBackend for ZswapBackend {
 
     fn store_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> DmemResult<()> {
         for (pfn, data) in pages {
+            let span = self.clock.tracer().span("swap", "zswap.store");
             self.clock.advance(self.cost.compress_page);
             let compressed = self.memo.get_or_compress((0, *pfn), &self.codec, data);
             match self.cache.insert(*pfn, compressed) {
                 ZswapInsert::Stored { evicted } => {
+                    span.tag("tier", if evicted.is_empty() { "zswap" } else { "zswap+disk" });
                     for (victim_pfn, victim) in evicted {
                         // Writeback decompresses and writes the raw page.
                         self.clock.advance(self.cost.decompress_page);
@@ -71,6 +73,7 @@ impl SwapBackend for ZswapBackend {
                     }
                 }
                 ZswapInsert::Rejected(_) => {
+                    span.tag("tier", "disk");
                     self.disk
                         .store(self.server.node(), self.entry(*pfn), data.clone());
                 }
@@ -82,13 +85,16 @@ impl SwapBackend for ZswapBackend {
     fn load_batch(&mut self, pfns: &[u64]) -> DmemResult<Vec<Vec<u8>>> {
         let mut out = Vec::with_capacity(pfns.len());
         for pfn in pfns {
+            let span = self.clock.tracer().span("swap", "zswap.load");
             if let Some(stored) = self.cache.get(*pfn) {
+                span.tag("tier", "zswap");
                 let stored = stored.clone();
                 // Pool hit: DRAM access plus decompression.
                 self.clock.advance(self.cost.dram.transfer(stored.data.len()));
                 self.clock.advance(self.cost.decompress_page);
                 out.push(self.memo.get_or_decompress(&self.codec, &stored)?);
             } else {
+                span.tag("tier", "disk");
                 out.push(self.disk.load(self.server.node(), self.entry(*pfn))?);
             }
         }

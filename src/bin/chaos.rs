@@ -81,7 +81,12 @@ fn run() -> Result<bool, String> {
     let mut all_clean = true;
     for (seed, verdict) in seeds.into_iter().zip(verdicts) {
         match verdict {
-            Ok(stats) => println!("seed {seed:#x}: ok ({stats})"),
+            Ok(stats) => {
+                println!("seed {seed:#x}: ok ({stats})");
+                if !stats.metrics_digest.is_empty() {
+                    println!("  metrics: {}", stats.metrics_digest);
+                }
+            }
             Err(report) => {
                 all_clean = false;
                 println!("seed {seed:#x}: FAILED");

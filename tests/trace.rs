@@ -1,0 +1,91 @@
+//! Tracing subsystem guarantees the telemetry layer is built on:
+//! deterministic exports, full-stack span coverage, exact attribution,
+//! and — critically for every figure — virtual-time equivalence between
+//! traced and untraced runs.
+
+use memory_disaggregation::sim::{jsonlite, SimDuration, Trace};
+use memory_disaggregation::swap::{build_system_with_pages, SwapScale, SystemKind};
+use memory_disaggregation::types::{ByteSize, CompressionMode, DistributionRatio};
+use memory_disaggregation::workloads::{catalog, TraceConfig};
+
+/// A small FastSwap scenario whose overflow exercises shared, remote and
+/// fabric paths (the fig4 (a) shape at test scale).
+fn scale() -> SwapScale {
+    let mut scale = SwapScale::small();
+    scale.shared_donation = 0.25;
+    scale.remote_pool = ByteSize::from_kib(512);
+    scale
+}
+
+fn run_scenario(traced: bool) -> (Trace, SimDuration) {
+    let kind = SystemKind::FastSwap {
+        ratio: DistributionRatio::FS_SM,
+        compression: CompressionMode::FourGranularity,
+        pbs: true,
+    };
+    let scale = scale();
+    let mut engine = build_system_with_pages(kind, &scale, 3.0, 0.4).unwrap();
+    let profile = catalog::by_name("LogisticRegression").unwrap();
+    let accesses = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
+    if traced {
+        engine.clock().tracer().enable();
+    }
+    let (_, completion) = engine.run(accesses).unwrap();
+    let trace = engine.clock().tracer().finish();
+    (trace, completion)
+}
+
+#[test]
+fn same_seed_exports_are_byte_identical() {
+    let (a, _) = run_scenario(true);
+    let (b, _) = run_scenario(true);
+    assert!(!a.spans.is_empty());
+    assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+}
+
+#[test]
+fn traced_run_keeps_untraced_virtual_time() {
+    // Spans never advance the clock, so figures produced with telemetry
+    // on are byte-identical to the shipping CSVs.
+    let (untraced, base) = run_scenario(false);
+    assert!(untraced.spans.is_empty(), "tracer off must record nothing");
+    let (_, traced) = run_scenario(true);
+    assert_eq!(base.as_nanos(), traced.as_nanos());
+}
+
+#[test]
+fn trace_covers_the_stack() {
+    let (trace, _) = run_scenario(true);
+    let cats = trace.categories();
+    for expected in ["net", "swap", "core", "cluster"] {
+        assert!(cats.contains(&expected), "missing {expected} in {cats:?}");
+    }
+}
+
+#[test]
+fn attribution_accounts_for_every_nanosecond() {
+    let (trace, completion) = run_scenario(true);
+    let attribution = trace.attribution(completion);
+    assert_eq!(attribution.accounted_ns(), completion.as_nanos());
+    assert!(attribution.category_ns("net") > 0);
+    let text = attribution.to_string();
+    assert!(text.contains("(untraced)"));
+    assert!(text.contains("total"));
+}
+
+#[test]
+fn chrome_export_parses_and_is_well_formed() {
+    let (trace, _) = run_scenario(true);
+    let doc = jsonlite::parse(&trace.to_chrome_json()).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(jsonlite::Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), trace.spans.len());
+    for ev in events {
+        assert!(ev.get("cat").and_then(jsonlite::Value::as_str).is_some());
+        assert!(ev.get("ts").and_then(jsonlite::Value::as_f64).is_some());
+        assert_eq!(ev.get("ph").and_then(jsonlite::Value::as_str), Some("X"));
+    }
+}
