@@ -29,6 +29,22 @@ step "cargo test -q" cargo test -q
 step "chaos smoke (seeds 0..32)" \
     cargo run --release --quiet --bin chaos -- --seeds 0..32
 
+# The same sweep with the multi-tenant QoS engine installed: the two
+# extra invariants (tenant-quota, priority-eviction) run on every seed,
+# and admission/eviction decisions are digest-checked for determinism by
+# the test suite.
+step "qos chaos smoke (seeds 0..32)" \
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --qos
+
+# QoS isolation smoke: the reduced ext_qos sweep must be byte-identical
+# to the committed golden CSV (virtual-clock determinism) and its
+# built-in acceptance check must pass (high-priority p99 flat under QoS,
+# degrading without it) — the binary exits nonzero otherwise.
+step "ext_qos smoke (golden CSV)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin ext_qos -- --smoke > /dev/null
+    git diff --exit-code -- results/ext_qos_smoke.csv
+'
+
 # Traced fig4: one telemetry-enabled pass exporting a Chrome-trace JSON,
 # then validate the artifact (parses, trace-event shaped, spans from >= 4
 # simulation layers). Guards the zero-cost-when-disabled contract's other

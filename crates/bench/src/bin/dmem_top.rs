@@ -12,13 +12,20 @@
 //! `--trace-out FILE` / `--metrics-out FILE` additionally export the
 //! Chrome-trace JSON (+ `.jsonl` sibling) and the digest text.
 //!
+//! `--qos` attributes the run to named tenants (the swap traffic becomes
+//! the high-priority `paging` tenant) and appends per-tenant rows —
+//! residency vs quota, priority, throttle level — plus the QoS decision
+//! digest. Without the flag the report is byte-identical to the plain
+//! tool.
+//!
 //! `--check-trace FILE` instead validates a previously exported
 //! Chrome-trace JSON: it must parse, be shaped like the trace-event
 //! format, and contain spans from at least four simulation layers. Used
 //! by `ci.sh` to gate the traced fig4 artifact. Exits nonzero on failure.
 
 use dmem_bench::TelemetryArgs;
-use dmem_sim::jsonlite;
+use dmem_qos::{QosConfig, QosEngine, TenantSpec};
+use dmem_sim::{jsonlite, SimDuration};
 use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
 use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
 use dmem_workloads::{catalog, TraceConfig};
@@ -78,7 +85,7 @@ fn check_trace(path: &str) -> Result<String, String> {
     Ok(report)
 }
 
-fn run_report(telemetry: &TelemetryArgs) -> String {
+fn run_report(telemetry: &TelemetryArgs, qos: bool) -> String {
     // The fig4 (a) scenario at 3.0x: small shared pool that fills
     // immediately, overflow absorbed by a tight remote tier.
     let mut scale = SwapScale::bench();
@@ -91,6 +98,24 @@ fn run_report(telemetry: &TelemetryArgs) -> String {
         pbs: true,
     };
     let mut engine = build_system_with_pages(kind, &scale, 3.0, 0.4).unwrap();
+    // `--qos`: attribute the run to named tenants so the report grows
+    // per-tenant rows and `qos.*` metric keys. Off by default, keeping
+    // the plain report byte-identical to the pre-QoS tool.
+    if qos {
+        if let Some(dm) = engine.cluster() {
+            let qos_engine = std::sync::Arc::new(QosEngine::new(QosConfig::default()));
+            let paging = qos_engine.register_tenant(
+                TenantSpec::new("paging", 200, ByteSize::from_mib(8))
+                    .with_slo_p99(SimDuration::from_millis(1)),
+            );
+            let batch = qos_engine
+                .register_tenant(TenantSpec::new("batch", 20, ByteSize::from_mib(1)));
+            for (i, server) in dm.servers().into_iter().enumerate() {
+                qos_engine.assign_server(*server, if i == 0 { paging } else { batch });
+            }
+            dm.install_qos(qos_engine);
+        }
+    }
     let profile = catalog::by_name("LogisticRegression").unwrap();
     let accesses = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
 
@@ -130,6 +155,11 @@ fn run_report(telemetry: &TelemetryArgs) -> String {
 
     if let Some(dm) = engine.cluster() {
         writeln!(out, "\n{}", dm.metrics()).unwrap();
+        if let Some(qos_engine) = dm.qos() {
+            writeln!(out, "tenants (qos):").unwrap();
+            write!(out, "{}", qos_engine.report()).unwrap();
+            writeln!(out, "qos decisions: {}", qos_engine.decision_digest()).unwrap();
+        }
     }
     out
 }
@@ -152,8 +182,9 @@ fn main() -> ExitCode {
             }
         };
     }
+    let qos = args.iter().any(|a| a == "--qos");
     let telemetry = TelemetryArgs::parse(args.into_iter());
-    let report = run_report(&telemetry);
+    let report = run_report(&telemetry, qos);
     print!("{report}");
     telemetry.write_metrics(&report);
     ExitCode::SUCCESS

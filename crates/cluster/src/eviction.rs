@@ -17,6 +17,12 @@ use crate::placement::Placer;
 use crate::remote::RemoteStore;
 use dmem_types::{ByteSize, DmemResult, EntryId, NodeId};
 use std::fmt;
+use std::sync::Arc;
+
+/// Maps an entry to its owning tenant's priority (higher = more
+/// important). Installed on the evictor by the QoS layer so migration
+/// churn lands on low-priority tenants first.
+pub type PriorityResolver = Arc<dyn Fn(EntryId) -> u8 + Send + Sync>;
 
 /// What one eviction scan did.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -35,12 +41,16 @@ impl EvictionOutcome {
 }
 
 /// Periodic eviction policy for over-committed remote pools.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct RemoteSlabEvictor {
     /// Hosts with less free pool space than this are relieved.
     threshold: ByteSize,
     /// At most this many entries migrate away from one host per scan.
     batch: usize,
+    /// Optional tenant-priority resolver: when set, migration candidates
+    /// are ordered lowest-priority-first so high-priority tenants' pages
+    /// stay put. `None` preserves the historical entry-id order exactly.
+    priority: Option<PriorityResolver>,
 }
 
 impl RemoteSlabEvictor {
@@ -52,7 +62,17 @@ impl RemoteSlabEvictor {
     /// Panics if `batch` is zero.
     pub fn new(threshold: ByteSize, batch: usize) -> Self {
         assert!(batch > 0, "batch must be at least 1");
-        RemoteSlabEvictor { threshold, batch }
+        RemoteSlabEvictor {
+            threshold,
+            batch,
+            priority: None,
+        }
+    }
+
+    /// Installs a tenant-priority resolver; see [`PriorityResolver`].
+    pub fn with_priority(mut self, resolver: PriorityResolver) -> Self {
+        self.priority = Some(resolver);
+        self
     }
 
     /// The low-water threshold.
@@ -77,7 +97,12 @@ impl RemoteSlabEvictor {
             }
             let deficit = self.threshold - stats.free;
             let mut moved_bytes = ByteSize::ZERO;
-            let entries = store.entries_on(host);
+            let mut entries = store.entries_on(host);
+            if let Some(priority) = &self.priority {
+                // Stable and deterministic: equal priorities fall back to
+                // the entry-id order `entries_on` already guarantees.
+                entries.sort_by_key(|&e| (priority(e), e));
+            }
             for entry in entries.into_iter().take(self.batch) {
                 if moved_bytes >= deficit {
                     break;
@@ -118,6 +143,16 @@ impl RemoteSlabEvictor {
             outcome.reclaimed += store.shrink_pool(host, deficit.min(moved_bytes + stats.free));
         }
         Ok(outcome)
+    }
+}
+
+impl fmt::Debug for RemoteSlabEvictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteSlabEvictor")
+            .field("threshold", &self.threshold)
+            .field("batch", &self.batch)
+            .field("priority", &self.priority.is_some())
+            .finish()
     }
 }
 
@@ -232,6 +267,29 @@ mod tests {
         let outcome = evictor.scan(&store, &placer).unwrap();
         assert!(!outcome.moves.is_empty());
         assert!(outcome.moves.len() <= 2);
+    }
+
+    #[test]
+    fn priority_resolver_orders_low_priority_first() {
+        let (store, placer) = setup(4, 32);
+        let host = NodeId::new(1);
+        for k in 0..8 {
+            store
+                .store(NodeId::new(0), host, entry(k), vec![0u8; 4096])
+                .unwrap();
+        }
+        // Entries 0..4 are "high priority" (200), 4..8 are "low" (10).
+        let resolver: PriorityResolver = Arc::new(|e| if e.key() < 4 { 200 } else { 10 });
+        let evictor =
+            RemoteSlabEvictor::new(ByteSize::from_kib(16), 4).with_priority(resolver);
+        let outcome = evictor.scan(&store, &placer).unwrap();
+        assert!(!outcome.moves.is_empty());
+        for (e, _, _) in &outcome.moves {
+            assert!(
+                e.key() >= 4,
+                "high-priority entry {e} migrated before low-priority ones"
+            );
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod remote;
 pub mod replication;
 
 pub use election::LeaderElection;
-pub use eviction::{EvictionOutcome, RemoteSlabEvictor};
+pub use eviction::{EvictionOutcome, PriorityResolver, RemoteSlabEvictor};
 pub use federation::{Federation, Lease};
 pub use group::{map_overhead_bytes, GroupTable};
 pub use membership::ClusterMembership;

@@ -34,6 +34,10 @@ pub struct MaintenanceConfig {
     pub balloon_interval: SimDuration,
     /// Donation-fraction step applied per balloon adjustment.
     pub balloon_step: f64,
+    /// How often the QoS controller ticks. Only scheduled when a QoS
+    /// engine is installed on the cluster, so QoS-disabled runs execute
+    /// an identical event sequence to pre-QoS builds.
+    pub qos_interval: SimDuration,
 }
 
 impl Default for MaintenanceConfig {
@@ -44,6 +48,7 @@ impl Default for MaintenanceConfig {
             advertise_interval: SimDuration::from_millis(10),
             balloon_interval: SimDuration::from_millis(200),
             balloon_step: 0.05,
+            qos_interval: SimDuration::from_millis(200),
         }
     }
 }
@@ -66,6 +71,10 @@ pub struct MaintenanceReport {
     /// Balloon adjustments applied (donations shrunk for pressured
     /// servers, §IV-F policy (2)).
     pub balloon_adjustments: u64,
+    /// QoS controller ticks run (zero unless a QoS engine is installed).
+    pub qos_ticks: u64,
+    /// Control actions (donation rebalances) the QoS controller applied.
+    pub qos_actions: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +83,7 @@ enum Task {
     Eviction,
     Advertise,
     Balloon,
+    QosTick,
 }
 
 /// The periodic-maintenance driver. See the module docs.
@@ -106,6 +116,9 @@ impl Maintenance {
         }
         if !config.balloon_interval.is_zero() {
             queue.schedule(now + config.balloon_interval, Task::Balloon);
+        }
+        if !config.qos_interval.is_zero() && dm.qos().is_some() {
+            queue.schedule(now + config.qos_interval, Task::QosTick);
         }
         Maintenance {
             dm,
@@ -178,11 +191,9 @@ impl Maintenance {
                         // by shrinking its donation.
                         for &server in self.dm.servers() {
                             let manager = self.dm.node_manager(server.node());
-                            if manager.balloon_advice(server)
-                                == dmem_node::BalloonAdvice::BalloonToServer
-                                && manager
-                                    .adjust_donation(server, -self.config.balloon_step)
-                                    .is_ok()
+                            if manager
+                                .apply_recommendation(server, self.config.balloon_step)
+                                .applied
                             {
                                 report.balloon_adjustments += 1;
                             }
@@ -190,6 +201,14 @@ impl Maintenance {
                         self.queue.schedule(
                             self.dm.clock().now() + self.config.balloon_interval,
                             Task::Balloon,
+                        );
+                    }
+                    Task::QosTick => {
+                        report.qos_ticks += 1;
+                        report.qos_actions += self.dm.qos_tick() as u64;
+                        self.queue.schedule(
+                            self.dm.clock().now() + self.config.qos_interval,
+                            Task::QosTick,
                         );
                     }
                 }

@@ -9,17 +9,18 @@ use dmem_cluster::{
 use dmem_compress::{CompressMemo, CompressedPage, PageCodec};
 use dmem_net::Fabric;
 use dmem_node::NodeManager;
+use dmem_qos::{AdmitDecision, ControlAction, QosEngine, ResidentTier, Victim};
 use dmem_sim::{
     CostModel, DetRng, FailureInjector, MetricsRegistry, SimClock, SimDuration,
 };
 use dmem_types::{
     checksum, ByteSize, ClusterConfig, DmemError, DmemResult, EntryId, EntryLocation, EntryRecord,
-    NodeId, ServerId, SizeClass, PAGE_SIZE,
+    NodeId, ServerId, SizeClass, TenantId, PAGE_SIZE,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Where a `put` is allowed to land.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,11 @@ pub struct DisaggregatedMemory {
     maps: Mutex<HashMap<ServerId, MemoryMap>>,
     servers: Vec<ServerId>,
     metrics: MetricsRegistry,
+    /// Optional multi-tenant QoS control plane. `OnceLock` keeps the
+    /// no-QoS hot path lock-free: an uninstalled engine is one relaxed
+    /// atomic load per operation, so single-tenant runs stay byte- and
+    /// cycle-identical to the pre-QoS system.
+    qos: OnceLock<Arc<QosEngine>>,
 }
 
 impl DisaggregatedMemory {
@@ -154,6 +160,7 @@ impl DisaggregatedMemory {
             maps: Mutex::new(maps),
             servers,
             metrics: MetricsRegistry::new(),
+            qos: OnceLock::new(),
         })
     }
 
@@ -195,6 +202,173 @@ impl DisaggregatedMemory {
     /// The underlying RDMA fabric (for advanced wiring, e.g. batch senders).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Installs the multi-tenant QoS control plane (quota admission,
+    /// priority eviction, fabric rate limiting, SLO controller). May be
+    /// called at most once; the engine is wired to this system's metrics
+    /// registry so `qos.*` counters and per-tenant latency histograms
+    /// land next to the core ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an engine is already installed.
+    pub fn install_qos(&self, engine: Arc<QosEngine>) {
+        engine.attach_metrics(self.metrics.clone());
+        if self.qos.set(engine).is_err() {
+            panic!("QoS engine already installed");
+        }
+    }
+
+    /// The installed QoS engine, if any.
+    pub fn qos(&self) -> Option<&Arc<QosEngine>> {
+        self.qos.get()
+    }
+
+    /// A tenant-priority resolver for [`RemoteSlabEvictor::with_priority`],
+    /// backed by the installed engine. `None` when QoS is off, so default
+    /// eviction order is untouched.
+    pub fn qos_priority_resolver(&self) -> Option<dmem_cluster::PriorityResolver> {
+        let engine = Arc::clone(self.qos.get()?);
+        Some(Arc::new(move |entry: EntryId| {
+            engine.tenant_priority(engine.tenant_of(entry.owner()))
+        }))
+    }
+
+    /// One closed-loop QoS controller pass: reads the latency histograms,
+    /// lets the engine decide, and applies every donation recommendation
+    /// through the node managers' ballooning path. Returns how many
+    /// control actions were applied. No-op without an installed engine.
+    pub fn qos_tick(&self) -> usize {
+        let Some(engine) = self.qos.get() else {
+            return 0;
+        };
+        let mut applied = 0;
+        for action in engine.controller_tick(&self.metrics) {
+            let ControlAction::AdjustDonation { server, delta } = action;
+            if let Some(manager) = self.managers.get(&server.node()) {
+                // Honor local memory pressure first (ballooning advice);
+                // only grow the donation when the node is not squeezed.
+                let balloon = manager.apply_recommendation(server, delta.abs());
+                if !balloon.applied {
+                    let _ = manager.adjust_donation(server, delta);
+                }
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Meters `bytes` of fabric traffic for `tenant` through the QoS
+    /// token buckets (waiting out any throttle delay on the virtual
+    /// clock), then runs `f` with the fabric's per-tenant verb accounting
+    /// scoped to `tenant`. Without an engine this is exactly `f()`.
+    fn metered<T>(
+        &self,
+        qos: Option<&Arc<QosEngine>>,
+        tenant: TenantId,
+        bytes: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let Some(engine) = qos else {
+            return f();
+        };
+        let wait = engine.fabric_acquire(tenant, bytes, self.clock.now());
+        if !wait.is_zero() {
+            let span = self.clock.tracer().span("qos", "throttle");
+            span.tag("bytes", bytes);
+            self.clock.advance(wait);
+        }
+        self.fabric.set_tenant_scope(Some(tenant));
+        let out = f();
+        self.fabric.set_tenant_scope(None);
+        out
+    }
+
+    /// Demotes a shared-pool victim to disk so a higher-or-equal-priority
+    /// put can take its place. Returns `false` (leaving the victim alone)
+    /// if any step fails; residency is credited on success.
+    fn demote_victim(&self, engine: &QosEngine, victim: &Victim) -> bool {
+        let entry = victim.entry;
+        let server = entry.owner();
+        let node = server.node();
+        let Some(manager) = self.managers.get(&node) else {
+            return false;
+        };
+        let Ok(bytes) = manager.get(entry) else {
+            return false;
+        };
+        if manager.delete(entry).is_err() {
+            return false;
+        }
+        self.disk.store(node, entry, bytes);
+        let mut maps = self.maps.lock();
+        if let Some(record) = maps
+            .get_mut(&server)
+            .and_then(|m| m.get(entry.key()))
+            .cloned()
+        {
+            let mut record = record;
+            record.location = EntryLocation::Disk;
+            if let Some(map) = maps.get_mut(&server) {
+                map.upsert(entry.key(), record);
+            }
+        }
+        drop(maps);
+        engine.note_dropped(victim.tenant, entry);
+        self.metrics.counter("qos.evict.demotions").inc();
+        true
+    }
+
+    /// [`DisaggregatedMemory::try_shared`] plus the QoS priority-eviction
+    /// retry: when the pool is full and the engine can name a victim of
+    /// no higher priority than `tenant`, the victim is demoted to disk
+    /// and the put retried once.
+    fn try_shared_qos(
+        &self,
+        qos: Option<&Arc<QosEngine>>,
+        tenant: TenantId,
+        node: NodeId,
+        entry: EntryId,
+        stored: &[u8],
+        record: &EntryRecord,
+    ) -> DmemResult<EntryLocation> {
+        let first = self.try_shared(node, entry, stored, record);
+        let Some(engine) = qos else {
+            return first;
+        };
+        if !matches!(&first, Err(DmemError::CapacityExhausted { .. })) {
+            return first;
+        }
+        let Some(victim) = engine.pick_victim(tenant, node, entry) else {
+            return first;
+        };
+        if !self.demote_victim(engine, &victim) {
+            return first;
+        }
+        engine.note_eviction(tenant, &victim);
+        self.try_shared(node, entry, stored, record).or(first)
+    }
+
+    /// Charges fast-tier residency for a landed put (no-op for disk, or
+    /// without an engine).
+    fn note_landed(
+        &self,
+        qos: Option<&Arc<QosEngine>>,
+        tenant: TenantId,
+        entry: EntryId,
+        stored_len: u64,
+        location: &EntryLocation,
+    ) {
+        let Some(engine) = qos else { return };
+        let node = entry.owner().node();
+        let tier = match location {
+            EntryLocation::NodeShared { .. } => ResidentTier::Shared(node),
+            EntryLocation::Nvm => ResidentTier::Nvm(node),
+            EntryLocation::Remote { .. } => ResidentTier::Remote,
+            EntryLocation::Disk => return,
+        };
+        engine.note_fast_resident(tenant, entry, stored_len, tier);
     }
 
     /// The node manager of `node`.
@@ -339,6 +513,9 @@ impl DisaggregatedMemory {
     }
 
     fn drop_location(&self, entry: EntryId, record: &EntryRecord) {
+        if let Some(engine) = self.qos.get() {
+            engine.note_dropped(engine.tenant_of(entry.owner()), entry);
+        }
         match &record.location {
             EntryLocation::NodeShared { .. } => {
                 if let Some(m) = self.managers.get(&entry.owner().node()) {
@@ -404,10 +581,24 @@ impl DisaggregatedMemory {
         }
         let (stored, mut record) = self.prepare(entry, &data);
         let node = server.node();
+        let stored_len = stored.len() as u64;
+        let qos = self.qos.get();
+        let tenant = qos.map_or(TenantId::SYSTEM, |q| q.tenant_of(server));
+        // QoS admission: over-quota and shed tenants degrade to disk
+        // instead of taking fast-tier space (graceful degradation, never
+        // a hard failure). Disk-preference puts skip the check — the disk
+        // tier is unmetered.
+        let admitted = match qos {
+            Some(engine) if pref != TierPreference::Disk => {
+                matches!(engine.admit_fast(tenant, stored_len), AdmitDecision::Admit)
+            }
+            _ => true,
+        };
 
         let location = match pref {
+            _ if !admitted => None,
             TierPreference::NodeShared | TierPreference::Auto => {
-                match self.try_shared(node, entry, &stored, &record) {
+                match self.try_shared_qos(qos, tenant, node, entry, &stored, &record) {
                     Ok(loc) => Some(loc),
                     Err(_) if pref == TierPreference::Auto => None,
                     Err(e) => {
@@ -432,6 +623,11 @@ impl DisaggregatedMemory {
         };
         let location = match location {
             Some(loc) => loc,
+            None if !admitted => {
+                self.disk.store(node, entry, stored.clone());
+                self.metrics.counter("core.put.disk").inc();
+                EntryLocation::Disk
+            }
             None => match pref {
                 TierPreference::Disk => {
                     self.disk.store(node, entry, stored.clone());
@@ -457,7 +653,9 @@ impl DisaggregatedMemory {
                     };
                     match nvm {
                         Some(loc) => loc,
-                        None => match self.try_remote(node, entry, &stored) {
+                        None => match self.metered(qos, tenant, stored_len, || {
+                            self.try_remote(node, entry, &stored)
+                        }) {
                             Ok(loc) => loc,
                             Err(_) => {
                                 self.disk.store(node, entry, stored.clone());
@@ -473,6 +671,7 @@ impl DisaggregatedMemory {
         self.metrics
             .histogram("core.put.ns")
             .record((self.clock.now() - t0).as_nanos());
+        self.note_landed(qos, tenant, entry, stored_len, &location);
         record.location = location;
         self.maps
             .lock()
@@ -566,6 +765,8 @@ impl DisaggregatedMemory {
         let span = self.clock.tracer().span("core", "get");
         span.tag("tier", Self::tier_name(&record.location));
         let t0 = self.clock.now();
+        let qos = self.qos.get();
+        let tenant = qos.map_or(TenantId::SYSTEM, |q| q.tenant_of(server));
         let stored = match &record.location {
             EntryLocation::NodeShared { .. } => {
                 let manager = self
@@ -578,16 +779,21 @@ impl DisaggregatedMemory {
                 let set = dmem_cluster::ReplicaSet {
                     nodes: replicas.clone(),
                 };
-                self.replicator
-                    .load_replicated(server.node(), entry, &set)?
+                self.metered(qos, tenant, record.stored_len, || {
+                    self.replicator.load_replicated(server.node(), entry, &set)
+                })?
             }
             EntryLocation::Nvm => self.nvm.load(server.node(), entry)?,
             EntryLocation::Disk => self.disk.load(server.node(), entry)?,
         };
         let out = self.recover(&record, stored);
-        self.metrics
-            .histogram("core.get.ns")
-            .record((self.clock.now() - t0).as_nanos());
+        let elapsed = (self.clock.now() - t0).as_nanos();
+        self.metrics.histogram("core.get.ns").record(elapsed);
+        if let Some(engine) = qos {
+            self.metrics
+                .histogram(&format!("qos.{}.get.ns", engine.tenant_name(tenant)))
+                .record(elapsed);
+        }
         out
     }
 
@@ -637,12 +843,17 @@ impl DisaggregatedMemory {
                 }
             }
         }
+        let qos = self.qos.get();
+        let tenant = qos.map_or(TenantId::SYSTEM, |q| q.tenant_of(server));
         for (primary, indices) in by_primary {
             let ids: Vec<EntryId> = indices
                 .iter()
                 .map(|&i| EntryId::new(server, keys[i]))
                 .collect();
-            match self.remote.load_batch(server.node(), primary, &ids) {
+            let batch_bytes: u64 = indices.iter().map(|&i| records[i].stored_len).sum();
+            match self.metered(qos, tenant, batch_bytes, || {
+                self.remote.load_batch(server.node(), primary, &ids)
+            }) {
                 Ok(blobs) => {
                     for (slot, blob) in indices.iter().zip(blobs) {
                         out[*slot] = Some(self.recover(&records[*slot], blob)?);
@@ -689,6 +900,8 @@ impl DisaggregatedMemory {
         let span = self.clock.tracer().span("core", "put_batch");
         span.tag("entries", batch.len());
         let node = server.node();
+        let qos = self.qos.get();
+        let tenant = qos.map_or(TenantId::SYSTEM, |q| q.tenant_of(server));
         let mut remote_items: Vec<(u64, Vec<u8>, EntryRecord)> = Vec::new();
         for (key, data) in batch {
             let entry = EntryId::new(server, key);
@@ -696,11 +909,37 @@ impl DisaggregatedMemory {
                 self.drop_location(entry, &old);
             }
             let (stored, mut record) = self.prepare(entry, &data);
+            let admitted = match qos {
+                Some(engine) if pref != TierPreference::Disk => matches!(
+                    engine.admit_fast(tenant, stored.len() as u64),
+                    AdmitDecision::Admit
+                ),
+                _ => true,
+            };
+            if !admitted {
+                // QoS denial: degrade this entry to disk, same terminal
+                // tier as the batch's own last-resort path.
+                record.location = EntryLocation::Disk;
+                self.disk.store(node, entry, stored);
+                self.maps
+                    .lock()
+                    .get_mut(&server)
+                    .expect("registered")
+                    .upsert(key, record);
+                continue;
+            }
             match pref {
                 TierPreference::Auto | TierPreference::NodeShared => {
-                    match self.try_shared(node, entry, &stored, &record) {
+                    match self.try_shared_qos(qos, tenant, node, entry, &stored, &record) {
                         Ok(loc) => {
                             record.location = loc;
+                            self.note_landed(
+                                qos,
+                                tenant,
+                                entry,
+                                record.stored_len,
+                                &record.location,
+                            );
                             self.maps
                                 .lock()
                                 .get_mut(&server)
@@ -712,12 +951,30 @@ impl DisaggregatedMemory {
                             // network (no batching needed: it is local).
                             if let Ok(loc) = self.try_nvm(node, entry, &stored) {
                                 record.location = loc;
+                                self.note_landed(
+                                    qos,
+                                    tenant,
+                                    entry,
+                                    record.stored_len,
+                                    &record.location,
+                                );
                                 self.maps
                                     .lock()
                                     .get_mut(&server)
                                     .expect("registered")
                                     .upsert(key, record);
                             } else {
+                                // Reserve residency now: later entries in
+                                // this batch are admitted against a quota
+                                // that already includes this one.
+                                if let Some(engine) = qos {
+                                    engine.note_fast_resident(
+                                        tenant,
+                                        entry,
+                                        record.stored_len,
+                                        ResidentTier::Remote,
+                                    );
+                                }
                                 remote_items.push((key, stored, record));
                             }
                         }
@@ -732,7 +989,17 @@ impl DisaggregatedMemory {
                         }
                     }
                 }
-                TierPreference::Remote => remote_items.push((key, stored, record)),
+                TierPreference::Remote => {
+                    if let Some(engine) = qos {
+                        engine.note_fast_resident(
+                            tenant,
+                            entry,
+                            record.stored_len,
+                            ResidentTier::Remote,
+                        );
+                    }
+                    remote_items.push((key, stored, record));
+                }
                 TierPreference::Nvm => {
                     record.location = match self.try_nvm(node, entry, &stored) {
                         Ok(loc) => loc,
@@ -741,6 +1008,7 @@ impl DisaggregatedMemory {
                             EntryLocation::Disk
                         }
                     };
+                    self.note_landed(qos, tenant, entry, record.stored_len, &record.location);
                     self.maps
                         .lock()
                         .get_mut(&server)
@@ -771,9 +1039,11 @@ impl DisaggregatedMemory {
             .iter()
             .map(|(k, d, _)| (EntryId::new(server, *k), d.clone()))
             .collect();
+        let batch_bytes: u64 = remote_items.iter().map(|(_, d, _)| d.len() as u64).sum();
         let picked = self
-            .replicator
-            .store_batch_replicated(node, &id_batch, &peers)
+            .metered(qos, tenant, batch_bytes, || {
+                self.replicator.store_batch_replicated(node, &id_batch, &peers)
+            })
             .ok();
         match picked {
             Some(set) => {
@@ -781,6 +1051,8 @@ impl DisaggregatedMemory {
                     record.location = EntryLocation::Remote {
                         replicas: set.nodes.clone(),
                     };
+                    let entry = EntryId::new(server, key);
+                    self.note_landed(qos, tenant, entry, record.stored_len, &record.location);
                     self.maps
                         .lock()
                         .get_mut(&server)
@@ -798,6 +1070,11 @@ impl DisaggregatedMemory {
                     .collect();
                 self.disk.store_batch(node, items);
                 for (key, _, mut record) in remote_items {
+                    // Credit the residency reserved at admission: the
+                    // window fell through to disk, an unmetered tier.
+                    if let Some(engine) = qos {
+                        engine.note_dropped(tenant, EntryId::new(server, key));
+                    }
                     record.location = EntryLocation::Disk;
                     self.maps
                         .lock()
@@ -938,6 +1215,15 @@ impl DisaggregatedMemory {
         for (&server, map) in maps.iter_mut() {
             if server.node() == node {
                 purged += map.len();
+                if let Some(engine) = self.qos.get() {
+                    // The maps are cleared wholesale below, bypassing
+                    // `drop_location`; credit residency entry by entry so
+                    // quota accounting survives the crash.
+                    let tenant = engine.tenant_of(server);
+                    for (key, _) in map.iter() {
+                        engine.note_dropped(tenant, EntryId::new(server, key));
+                    }
+                }
                 *map = MemoryMap::new();
                 if let Some(m) = self.managers.get(&node) {
                     m.deregister_server(server);
@@ -1303,6 +1589,180 @@ mod tests {
         // remote write would.
         assert!(put_cost.as_micros_f64() < 15.0, "nvm put cost {put_cost}");
         assert_eq!(dm.get(server, 1).unwrap(), vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn no_qos_metrics_without_engine() {
+        let dm = system();
+        let server = dm.servers()[0];
+        dm.put(server, 1, vec![1u8; 4096]).unwrap();
+        dm.put_pref(server, 2, vec![2u8; 4096], TierPreference::Remote)
+            .unwrap();
+        dm.get(server, 1).unwrap();
+        dm.get(server, 2).unwrap();
+        assert_eq!(dm.qos_tick(), 0);
+        assert!(dm.qos().is_none());
+        assert!(dm.qos_priority_resolver().is_none());
+        let dump = dm.metrics().to_string();
+        assert!(!dump.contains("qos."), "qos keys leaked: {dump}");
+        assert!(!dump.contains("net.tenant-"), "tenant keys leaked: {dump}");
+    }
+
+    #[test]
+    fn qos_quota_denial_degrades_to_disk() {
+        use dmem_qos::{QosConfig, QosEngine, TenantSpec};
+        let mut config = ClusterConfig::small();
+        config.compression = CompressionMode::Off;
+        let dm = DisaggregatedMemory::new(config).unwrap();
+        let engine = Arc::new(QosEngine::new(QosConfig::default()));
+        dm.install_qos(Arc::clone(&engine));
+        let server = dm.servers()[0];
+        let capped = engine.register_tenant(TenantSpec::new(
+            "capped",
+            50,
+            ByteSize::from_kib(4),
+        ));
+        engine.assign_server(server, capped);
+        for k in 0..4u64 {
+            dm.put(server, k, vec![k as u8; 4096]).unwrap();
+        }
+        // One page fits the 4 KiB quota; the rest degrade to disk — no
+        // hard failure, every entry still readable.
+        let stats = dm.stats();
+        assert_eq!(stats.disk, 3, "stats {stats:?}");
+        for k in 0..4u64 {
+            assert_eq!(dm.get(server, k).unwrap(), vec![k as u8; 4096]);
+        }
+        assert!(dm.metrics().counter("qos.capped.rejected.bytes").get() > 0);
+        assert!(dm.metrics().counter("qos.capped.admitted.bytes").get() > 0);
+        // Deleting the resident entry frees the quota again.
+        dm.delete(server, 0).unwrap();
+        dm.put(server, 9, vec![9u8; 4096]).unwrap();
+        assert!(!dm.record(server, 9).unwrap().location.is_disk());
+    }
+
+    #[test]
+    fn qos_priority_eviction_reclaims_low_priority_pages() {
+        use dmem_qos::{QosConfig, QosEngine, TenantSpec};
+        let mut config = ClusterConfig::small();
+        // One 8 KiB slab of donation per node: room for exactly two pages.
+        config.node.slab_size = ByteSize::from_kib(8);
+        config.server.donation = dmem_types::DonationPolicy::fixed(0.000244140625);
+        config.compression = CompressionMode::Off;
+        let dm = DisaggregatedMemory::new(config).unwrap();
+        let engine = Arc::new(QosEngine::new(QosConfig::default()));
+        dm.install_qos(Arc::clone(&engine));
+        let low_server = dm.servers()[0];
+        let high_server = dm.servers()[1]; // same node
+        assert_eq!(low_server.node(), high_server.node());
+        let low = engine.register_tenant(TenantSpec::new("batch", 10, ByteSize::from_mib(4)));
+        let high = engine.register_tenant(TenantSpec::new("kv", 200, ByteSize::from_mib(4)));
+        engine.assign_server(low_server, low);
+        engine.assign_server(high_server, high);
+        // The low-priority tenant fills the node's two-page shared pool.
+        for k in 1..=2u64 {
+            dm.put_pref(low_server, k, vec![k as u8; 4096], TierPreference::NodeShared)
+                .unwrap();
+            assert!(dm.record(low_server, k).unwrap().location.is_node_local());
+        }
+        // A high-priority put reclaims one of those pages instead of
+        // spilling to a slower tier.
+        dm.put_pref(high_server, 7, vec![7u8; 4096], TierPreference::NodeShared)
+            .unwrap();
+        assert!(dm.record(high_server, 7).unwrap().location.is_node_local());
+        let evictions = engine.evictions();
+        assert_eq!(evictions.len(), 1);
+        assert!(evictions[0].victim_priority <= evictions[0].beneficiary_priority);
+        // Exactly one victim was demoted to disk — and not lost.
+        let demoted = (1..=2u64)
+            .filter(|&k| dm.record(low_server, k).unwrap().location.is_disk())
+            .count();
+        assert_eq!(demoted, 1);
+        for k in 1..=2u64 {
+            assert_eq!(dm.get(low_server, k).unwrap(), vec![k as u8; 4096]);
+        }
+        // The reverse direction must not hold: the low-priority tenant
+        // cannot evict the high-priority page.
+        dm.put_pref(low_server, 3, vec![3u8; 4096], TierPreference::NodeShared)
+            .unwrap();
+        assert!(dm.record(high_server, 7).unwrap().location.is_node_local());
+    }
+
+    #[test]
+    fn qos_fabric_rate_limit_throttles_remote_traffic() {
+        use dmem_qos::{QosConfig, QosEngine, TenantSpec};
+        let mut config = ClusterConfig::small();
+        config.server.donation = dmem_types::DonationPolicy::fixed(0.0);
+        config.compression = CompressionMode::Off;
+
+        let baseline = DisaggregatedMemory::new(config.clone()).unwrap();
+        let s = baseline.servers()[0];
+        let t0 = baseline.clock().now();
+        for k in 0..8u64 {
+            baseline
+                .put_pref(s, k, vec![k as u8; 4096], TierPreference::Remote)
+                .unwrap();
+        }
+        let base_cost = baseline.clock().now() - t0;
+
+        let dm = DisaggregatedMemory::new(config).unwrap();
+        let engine = Arc::new(QosEngine::new(QosConfig {
+            burst: ByteSize::from_kib(4),
+            ..QosConfig::default()
+        }));
+        dm.install_qos(Arc::clone(&engine));
+        let server = dm.servers()[0];
+        let slow = engine.register_tenant(
+            TenantSpec::new("slow", 10, ByteSize::from_mib(16)).with_fabric_rate(1_000_000),
+        );
+        engine.assign_server(server, slow);
+        let t1 = dm.clock().now();
+        for k in 0..8u64 {
+            dm.put_pref(server, k, vec![k as u8; 4096], TierPreference::Remote)
+                .unwrap();
+        }
+        let limited_cost = dm.clock().now() - t1;
+        assert!(
+            limited_cost > base_cost,
+            "rate limit must slow the tenant: {limited_cost} <= {base_cost}"
+        );
+        assert!(
+            dm.metrics().counter("qos.slow.tokens_waited.ns").get() > 0,
+            "waits must be accounted"
+        );
+        let raw = slow.index();
+        let net = dm.fabric().metrics();
+        assert!(net.counter(&format!("net.tenant-{raw}.ops")).get() > 0);
+        assert!(net.counter(&format!("net.tenant-{raw}.bytes")).get() > 0);
+        // Scope never leaks past the metered section.
+        assert!(dm.fabric().tenant_scope().is_none());
+    }
+
+    #[test]
+    fn qos_node_restart_credits_residency() {
+        use dmem_qos::{QosConfig, QosEngine, TenantSpec};
+        let dm = system();
+        let engine = Arc::new(QosEngine::new(QosConfig::default()));
+        dm.install_qos(Arc::clone(&engine));
+        let server = dm.servers()[0];
+        let tenant = engine.register_tenant(TenantSpec::new("t", 50, ByteSize::from_mib(1)));
+        engine.assign_server(server, tenant);
+        dm.put(server, 1, vec![1u8; 4096]).unwrap();
+        let resident_before = engine
+            .tenants_snapshot()
+            .iter()
+            .find(|t| t.id == tenant)
+            .unwrap()
+            .resident;
+        assert!(resident_before > 0);
+        dm.handle_node_restart(server.node()).unwrap();
+        let resident_after = engine
+            .tenants_snapshot()
+            .iter()
+            .find(|t| t.id == tenant)
+            .unwrap()
+            .resident;
+        assert_eq!(resident_after, 0, "crash must credit the quota");
     }
 
     #[test]

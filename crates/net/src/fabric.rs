@@ -1,7 +1,7 @@
 //! The fabric: registered memory regions, queue pairs and verbs.
 
 use dmem_sim::{CostModel, FailureInjector, MetricsRegistry, SimClock, SimInstant};
-use dmem_types::{ByteSize, DmemError, DmemResult, MrId, NodeId, QpId};
+use dmem_types::{ByteSize, DmemError, DmemResult, MrId, NodeId, QpId, TenantId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -92,7 +92,15 @@ pub struct Fabric {
     metrics: MetricsRegistry,
     inner: Arc<Mutex<Inner>>,
     next_id: Arc<AtomicU64>,
+    /// Tenant currently charged for verbs ([`NO_TENANT`] = unattributed).
+    /// Shared across clones, set by the QoS layer around remote
+    /// operations; per-tenant counters exist only while a scope is set,
+    /// so QoS-disabled runs create no extra metric keys.
+    tenant_scope: Arc<AtomicU64>,
 }
+
+/// Sentinel for "no tenant scope in force".
+const NO_TENANT: u64 = u64::MAX;
 
 impl Fabric {
     /// Creates a fabric over the given clock, cost model and failure
@@ -111,7 +119,39 @@ impl Fabric {
                 busy_until: HashMap::new(),
             })),
             next_id: Arc::new(AtomicU64::new(1)),
+            tenant_scope: Arc::new(AtomicU64::new(NO_TENANT)),
         }
+    }
+
+    /// Sets (or clears) the tenant charged for subsequent verbs. All
+    /// clones of this fabric observe the scope; callers bracket their
+    /// remote operations with set/clear.
+    pub fn set_tenant_scope(&self, tenant: Option<TenantId>) {
+        let raw = tenant.map_or(NO_TENANT, |t| u64::from(t.index()));
+        self.tenant_scope.store(raw, Ordering::Relaxed);
+    }
+
+    /// The tenant currently charged for verbs, if any.
+    pub fn tenant_scope(&self) -> Option<TenantId> {
+        match self.tenant_scope.load(Ordering::Relaxed) {
+            NO_TENANT => None,
+            raw => Some(TenantId::new(raw as u32)),
+        }
+    }
+
+    /// Attributes `bytes` of verb traffic to the scoped tenant, if one is
+    /// set. No-op (and no metric keys created) otherwise.
+    fn charge_tenant(&self, bytes: u64) {
+        let raw = self.tenant_scope.load(Ordering::Relaxed);
+        if raw == NO_TENANT {
+            return;
+        }
+        self.metrics
+            .counter(&format!("net.tenant-{raw}.ops"))
+            .inc();
+        self.metrics
+            .counter(&format!("net.tenant-{raw}.bytes"))
+            .add(bytes);
     }
 
     /// The fabric's metrics registry (verb counts, bytes moved).
@@ -321,6 +361,7 @@ impl Fabric {
         self.metrics.counter("net.write.ops").inc();
         self.metrics.counter("net.write.bytes").add(data.len() as u64);
         self.metrics.histogram("net.write.ns").record(elapsed.as_nanos());
+        self.charge_tenant(data.len() as u64);
         Ok(())
     }
 
@@ -346,6 +387,7 @@ impl Fabric {
         self.metrics.counter("net.read.ops").inc();
         self.metrics.counter("net.read.bytes").add(len as u64);
         self.metrics.histogram("net.read.ns").record(elapsed.as_nanos());
+        self.charge_tenant(len as u64);
         Ok(out)
     }
 
@@ -420,6 +462,7 @@ impl Fabric {
         };
         self.metrics.counter("net.send.ops").inc();
         self.metrics.counter("net.send.bytes").add(msg_len);
+        self.charge_tenant(msg_len);
         Ok(seq)
     }
 
@@ -519,6 +562,7 @@ impl Fabric {
         }
         self.metrics.counter("net.write.ops").inc();
         self.metrics.counter("net.write.bytes").add(data.len() as u64);
+        self.charge_tenant(data.len() as u64);
         Ok(self.post_transfer(qp, CompletionKind::Write, Vec::new(), data.len()))
     }
 
@@ -547,6 +591,7 @@ impl Fabric {
         };
         self.metrics.counter("net.read.ops").inc();
         self.metrics.counter("net.read.bytes").add(len as u64);
+        self.charge_tenant(len as u64);
         Ok(self.post_transfer(qp, CompletionKind::Read, data, len))
     }
 
@@ -866,6 +911,35 @@ mod tests {
             .find(|s| s.name == "post_write.transfer")
             .unwrap();
         assert_eq!(post.kind, dmem_sim::SpanKind::Async);
+    }
+
+    #[test]
+    fn tenant_scope_attributes_verbs_only_while_set() {
+        let (_, _, f) = fabric();
+        let mr = f.register(NodeId::new(1), ByteSize::from_kib(8)).unwrap();
+        let qp = f.connect(NodeId::new(0), NodeId::new(1)).unwrap();
+        // Unscoped traffic creates no tenant keys at all.
+        f.write(&qp, &[0u8; 100], &mr, 0).unwrap();
+        assert!(f
+            .metrics()
+            .counter_snapshot()
+            .iter()
+            .all(|(k, _)| !k.starts_with("net.tenant-")));
+
+        f.set_tenant_scope(Some(TenantId::new(3)));
+        assert_eq!(f.tenant_scope(), Some(TenantId::new(3)));
+        f.write(&qp, &[0u8; 64], &mr, 0).unwrap();
+        f.read(&qp, &mr, 0, 36).unwrap();
+        f.set_tenant_scope(None);
+        assert_eq!(f.tenant_scope(), None);
+        f.write(&qp, &[0u8; 500], &mr, 0).unwrap();
+
+        assert_eq!(f.metrics().counter("net.tenant-3.ops").get(), 2);
+        assert_eq!(f.metrics().counter("net.tenant-3.bytes").get(), 100);
+        // Clones share the scope.
+        let clone = f.clone();
+        clone.set_tenant_scope(Some(TenantId::new(7)));
+        assert_eq!(f.tenant_scope(), Some(TenantId::new(7)));
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod pool;
 
 pub use agent::LocalDmc;
 pub use donation::DonationRegistry;
-pub use manager::{BalloonAdvice, NodeManager, NodeStats};
+pub use manager::{AppliedBalloon, BalloonAdvice, NodeManager, NodeStats};
 pub use pool::{BlockRef, PoolStats, SharedMemoryPool};

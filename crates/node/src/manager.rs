@@ -29,6 +29,19 @@ pub enum BalloonAdvice {
     ShrinkRecvPool,
 }
 
+/// Outcome of [`NodeManager::apply_recommendation`]: the advice that was
+/// computed and whether a donation adjustment was actually applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliedBalloon {
+    /// The recommendation that was consulted.
+    pub advice: BalloonAdvice,
+    /// `true` when a donation adjustment went through (it may still have
+    /// been clamped to a no-op by a fixed donation policy).
+    pub applied: bool,
+    /// The server's donation fraction after the adjustment, when applied.
+    pub fraction: Option<f64>,
+}
+
 /// Node-level statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeStats {
@@ -313,6 +326,38 @@ impl NodeManager {
         }
     }
 
+    /// Consults [`NodeManager::balloon_advice`] for `server` and *applies*
+    /// it: [`BalloonAdvice::BalloonToServer`] shrinks the server's
+    /// donation by `step` via [`NodeManager::adjust_donation`] (§IV-F
+    /// policy (2), promoted from a returned recommendation to an acted-on
+    /// path). Other advice leaves the donation untouched.
+    pub fn apply_recommendation(&self, server: ServerId, step: f64) -> AppliedBalloon {
+        let advice = self.balloon_advice(server);
+        if advice == BalloonAdvice::BalloonToServer {
+            match self.adjust_donation(server, -step) {
+                Ok(fraction) => {
+                    return AppliedBalloon {
+                        advice,
+                        applied: true,
+                        fraction: Some(fraction),
+                    }
+                }
+                Err(_) => {
+                    return AppliedBalloon {
+                        advice,
+                        applied: false,
+                        fraction: None,
+                    }
+                }
+            }
+        }
+        AppliedBalloon {
+            advice,
+            applied: false,
+            fraction: None,
+        }
+    }
+
     /// Node statistics snapshot.
     pub fn stats(&self) -> NodeStats {
         let inner = self.inner.lock();
@@ -482,6 +527,41 @@ mod tests {
             m.record_remote_escalation();
         }
         assert_eq!(m.balloon_advice(server(0)), BalloonAdvice::ShrinkRecvPool);
+    }
+
+    #[test]
+    fn apply_recommendation_shrinks_donation_under_pressure() {
+        let m = manager();
+        m.set_advice_policy(SimDuration::from_secs(10), 4);
+        m.register_server(
+            server(0),
+            ByteSize::from_kib(160),
+            DonationPolicy {
+                initial: 0.1,
+                min: 0.0,
+                max: 0.4,
+            },
+        );
+        // Steady advice applies nothing.
+        let outcome = m.apply_recommendation(server(0), 0.05);
+        assert_eq!(outcome.advice, BalloonAdvice::Steady);
+        assert!(!outcome.applied);
+        assert_eq!(outcome.fraction, None);
+
+        // Fill the pool and overflow past the advice threshold.
+        for k in 0..4 {
+            m.put(entry(server(0), k), vec![0u8; 4096], SizeClass::C4K)
+                .unwrap();
+        }
+        for k in 100..104 {
+            let _ = m.put(entry(server(0), k), vec![0u8; 4096], SizeClass::C4K);
+        }
+        let before = m.capacity();
+        let outcome = m.apply_recommendation(server(0), 0.05);
+        assert_eq!(outcome.advice, BalloonAdvice::BalloonToServer);
+        assert!(outcome.applied);
+        assert!((outcome.fraction.unwrap() - 0.05).abs() < 1e-9);
+        assert!(m.capacity() < before, "donation actually moved");
     }
 
     #[test]

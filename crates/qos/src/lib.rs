@@ -1,0 +1,39 @@
+//! Multi-tenant QoS control plane for disaggregated memory.
+//!
+//! The paper's §IV-F donation and ballooning policies account for memory
+//! but enforce nothing; when many tenants contend for node shared pools,
+//! remote memory and the RDMA fabric, somebody has to arbitrate. This
+//! crate is that arbiter:
+//!
+//! * a **tenant registry** ([`TenantSpec`]) with per-tenant quota,
+//!   priority and latency SLO;
+//! * **admission control** on the put path — over-quota or shed tenants
+//!   degrade to disk, never fail hard;
+//! * **priority-aware eviction** — a tenant below its quota may displace
+//!   pages of equal or lower priority, and *never* a strictly
+//!   higher-priority tenant's pages;
+//! * deterministic **token-bucket rate limiting** ([`TokenBucket`]) of
+//!   fabric bytes on the virtual clock, per tenant and in aggregate;
+//! * a **closed-loop controller** that watches windowed p99 latencies in
+//!   the metrics registry each maintenance tick, grows donations toward
+//!   suffering high-priority tenants and throttles/sheds lower-priority
+//!   load (graceful degradation).
+//!
+//! Everything is decision logic over plain data: the engine tells
+//! `dmem-core` *what* to do and records every decision in a
+//! deterministic, digestable log, so chaos tests can prove byte-identical
+//! behaviour per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod engine;
+mod tenant;
+
+pub use bucket::TokenBucket;
+pub use engine::{
+    AdmitDecision, ControlAction, EvictionRecord, QosConfig, QosEngine, ResidentTier,
+    TenantSnapshot, Victim,
+};
+pub use tenant::TenantSpec;

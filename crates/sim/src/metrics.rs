@@ -173,6 +173,36 @@ impl Histogram {
         0
     }
 
+    /// Raw per-bucket observation counts (see the type docs for edges).
+    ///
+    /// Lets a caller keep a previous snapshot and diff against the current
+    /// one to compute *windowed* quantiles — e.g. the p99 of only the
+    /// observations recorded since the last controller tick — via
+    /// [`Histogram::quantile_of_counts`].
+    pub fn bucket_counts(&self) -> [u64; 65] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Quantile over an externally supplied bucket-count array (typically
+    /// the difference of two [`Histogram::bucket_counts`] snapshots).
+    /// Returns the same bucket upper bounds as [`Histogram::quantile`];
+    /// zero when the counts are all zero.
+    pub fn quantile_of_counts(counts: &[u64; 65], q: f64) -> u64 {
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+
     /// Compact summary for dumps and reports.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -386,6 +416,28 @@ mod tests {
         h.record(0);
         assert_eq!(h.quantile(0.5), 1);
         assert_eq!(h.max_bound(), 1);
+    }
+
+    #[test]
+    fn histogram_windowed_quantile_from_count_diffs() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let before = h.bucket_counts();
+        // Window contains only small observations; overall p99 stays 1024.
+        for _ in 0..100 {
+            h.record(4);
+        }
+        let after = h.bucket_counts();
+        let mut window = [0u64; 65];
+        for i in 0..65 {
+            window[i] = after[i] - before[i];
+        }
+        assert_eq!(window.iter().sum::<u64>(), 100);
+        assert_eq!(Histogram::quantile_of_counts(&window, 0.99), 4);
+        assert_eq!(h.quantile(0.99), 1024);
+        assert_eq!(Histogram::quantile_of_counts(&[0u64; 65], 0.5), 0);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! FastSwap under the multi-tenant QoS control plane.
+//!
+//! Swap traffic reaches the cluster through ordinary `ServerId`s, so
+//! tenant identity flows into FastSwap for free: register the paging
+//! server under a named tenant and every swapped page is metered,
+//! quota-checked, and attributed. Without registration everything rides
+//! the implicit system tenant and the engine changes nothing — the
+//! property that keeps every pre-QoS figure byte-identical.
+
+use dmem_qos::{QosConfig, QosEngine, TenantSpec};
+use dmem_swap::{build_system_with_pages, PagingEngine, SwapScale, SystemKind};
+use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
+use dmem_workloads::{catalog, TraceConfig};
+use std::sync::Arc;
+
+fn fastswap(scale: &SwapScale) -> PagingEngine {
+    let kind = SystemKind::FastSwap {
+        ratio: DistributionRatio::FS_SM,
+        compression: CompressionMode::FourGranularity,
+        pbs: true,
+    };
+    build_system_with_pages(kind, scale, 2.8, 0.8).unwrap()
+}
+
+/// Runs the small LogisticRegression trace and returns virtual
+/// completion time in nanoseconds.
+fn run_lr(engine: &mut PagingEngine, scale: &SwapScale) -> u64 {
+    let profile = catalog::by_name("LogisticRegression").unwrap();
+    let accesses = TraceConfig::scaled_from(profile, scale.working_set_pages).generate(scale.seed);
+    let (stats, completion) = engine.run(accesses).unwrap();
+    assert!(stats.major_faults > 0, "the trace must actually swap");
+    completion.as_nanos()
+}
+
+/// Installs a QoS engine whose `paging` tenant owns every server, with
+/// the given fast-tier quota.
+fn register_paging(engine: &PagingEngine, quota: ByteSize) -> Arc<QosEngine> {
+    let dm = engine.cluster().expect("FastSwap runs over a cluster");
+    let qos = Arc::new(QosEngine::new(QosConfig::default()));
+    let paging = qos.register_tenant(TenantSpec::new("paging", 200, quota));
+    for server in dm.servers() {
+        qos.assign_server(*server, paging);
+    }
+    dm.install_qos(Arc::clone(&qos));
+    qos
+}
+
+#[test]
+fn fastswap_attributes_swap_traffic_to_its_tenant() {
+    let scale = SwapScale::small();
+    let mut engine = fastswap(&scale);
+    let qos = register_paging(&engine, ByteSize::from_mib(32));
+    run_lr(&mut engine, &scale);
+
+    let dm = engine.cluster().unwrap();
+    assert!(
+        dm.metrics().counter("qos.paging.admitted.bytes").get() > 0,
+        "swapped pages must be admitted under the paging tenant"
+    );
+    let snapshot = qos.tenants_snapshot();
+    let paging = snapshot.iter().find(|t| t.name == "paging").unwrap();
+    assert!(
+        paging.resident > 0,
+        "swapped-out pages must count against the tenant's fast-tier residency"
+    );
+    assert!(
+        !qos.decision_digest().starts_with("n=0 "),
+        "admission decisions must land in the log: {}",
+        qos.decision_digest()
+    );
+}
+
+#[test]
+fn fastswap_under_generous_quota_matches_the_unmanaged_run() {
+    // The engine installed but never constraining (system-default-like
+    // setup): virtual completion time must equal the plain run's, so
+    // turning QoS on cannot perturb any figure built on FastSwap.
+    let scale = SwapScale::small();
+    let mut plain = fastswap(&scale);
+    let plain_completion = run_lr(&mut plain, &scale);
+    assert!(
+        !plain.cluster().unwrap().metrics().to_string().contains("qos."),
+        "no qos metric keys without an engine"
+    );
+
+    let mut managed = fastswap(&scale);
+    register_paging(&managed, ByteSize::from_mib(512));
+    let managed_completion = run_lr(&mut managed, &scale);
+    assert_eq!(
+        plain_completion, managed_completion,
+        "an unconstraining QoS engine must not change virtual time"
+    );
+}
+
+#[test]
+fn fastswap_over_quota_degrades_to_disk_not_failure() {
+    // A quota far below the swap working set: FastSwap keeps running —
+    // over-quota pages degrade to disk (the paper's last-resort tier)
+    // and the run just gets slower, never an error.
+    let scale = SwapScale::small();
+    let mut generous = fastswap(&scale);
+    register_paging(&generous, ByteSize::from_mib(32));
+    let fast = run_lr(&mut generous, &scale);
+
+    let mut capped = fastswap(&scale);
+    let qos = register_paging(&capped, ByteSize::from_kib(64));
+    let slow = run_lr(&mut capped, &scale);
+
+    let dm = capped.cluster().unwrap();
+    assert!(
+        dm.metrics().counter("qos.paging.rejected.bytes").get() > 0,
+        "the tiny quota must actually reject pages"
+    );
+    let snapshot = qos.tenants_snapshot();
+    let paging = snapshot.iter().find(|t| t.name == "paging").unwrap();
+    assert!(
+        paging.resident <= paging.quota,
+        "residency must respect the quota: {} > {}",
+        paging.resident,
+        paging.quota
+    );
+    assert!(
+        slow > fast,
+        "disk-degraded swapping must cost virtual time: {slow} <= {fast}"
+    );
+}

@@ -192,6 +192,59 @@ impl fmt::Display for EntryId {
     }
 }
 
+/// Identifier of a tenant: an isolation domain owning virtual servers and
+/// subject to QoS policy (quota, priority, SLO).
+///
+/// Tenant `0` is the *system tenant*: the implicit owner of every server
+/// that was never explicitly assigned, so single-tenant deployments and all
+/// pre-QoS callers keep working unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use dmem_types::TenantId;
+/// assert!(TenantId::SYSTEM.is_system());
+/// let t = TenantId::new(3);
+/// assert!(!t.is_system());
+/// assert_eq!(t.to_string(), "tenant-3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The implicit default tenant owning all unassigned servers.
+    pub const SYSTEM: TenantId = TenantId(0);
+
+    /// Creates a tenant identifier from its registry index.
+    pub const fn new(index: u32) -> Self {
+        TenantId(index)
+    }
+
+    /// Returns the raw registry index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the implicit system tenant.
+    pub const fn is_system(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+impl From<u32> for TenantId {
+    fn from(index: u32) -> Self {
+        TenantId(index)
+    }
+}
+
 /// Identifier of a node group in the hierarchical group-sharing model
 /// (paper §IV-C).
 #[derive(
@@ -311,6 +364,16 @@ mod tests {
         assert!(!MrId::new(0).to_string().is_empty());
         assert!(!QpId::new(0).to_string().is_empty());
         assert!(!PageId::new(0).to_string().is_empty());
+    }
+
+    #[test]
+    fn tenant_id_defaults_to_system() {
+        assert_eq!(TenantId::default(), TenantId::SYSTEM);
+        assert!(TenantId::SYSTEM.is_system());
+        assert!(!TenantId::new(1).is_system());
+        assert_eq!(TenantId::from(5).index(), 5);
+        assert_eq!(TenantId::new(5).to_string(), "tenant-5");
+        assert!(TenantId::new(1) < TenantId::new(2));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use config::{
     PlacementStrategy, ReplicationFactor, ServerConfig, SwapInMode,
 };
 pub use error::{DmemError, DmemResult};
-pub use ids::{EntryId, GroupId, MrId, NodeId, PageId, QpId, ServerId, SlabId};
+pub use ids::{EntryId, GroupId, MrId, NodeId, PageId, QpId, ServerId, SlabId, TenantId};
 pub use location::{EntryLocation, EntryRecord, SizeClass};
 
 /// The system page size in bytes. The paper's systems (FastSwap, Infiniswap,

@@ -30,7 +30,7 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 }
 
 fn usage() -> String {
-    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N]"
+    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N] [--qos]"
         .to_string()
 }
 
@@ -38,11 +38,13 @@ fn run() -> Result<bool, String> {
     let mut config = ChaosConfig::default();
     let mut seeds: Vec<u64> = Vec::new();
     let mut jobs = scoped_pool::available_parallelism();
+    let mut qos = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--seed" => seeds.push(parse_u64(&value("--seed")?)?),
+            "--qos" => qos = true,
             "--jobs" => {
                 jobs = parse_u64(&value("--jobs")?)?.max(1) as usize;
             }
@@ -68,7 +70,10 @@ fn run() -> Result<bool, String> {
         seeds.extend(0..8);
     }
 
-    let settings = ChaosSettings::default();
+    let settings = ChaosSettings {
+        qos,
+        ..ChaosSettings::default()
+    };
     let total = seeds.len();
     let wall = Instant::now();
     // Each seed is an independent deterministic sim; fan across cores and
@@ -85,6 +90,9 @@ fn run() -> Result<bool, String> {
                 println!("seed {seed:#x}: ok ({stats})");
                 if !stats.metrics_digest.is_empty() {
                     println!("  metrics: {}", stats.metrics_digest);
+                }
+                if !stats.qos_digest.is_empty() {
+                    println!("  qos: {}", stats.qos_digest);
                 }
             }
             Err(report) => {

@@ -38,6 +38,7 @@
 //! | [`compress`] | LZ page codec, size classes, zswap baseline |
 //! | [`kv`] | Memcached-style cache with a disaggregated overflow tier |
 //! | [`node`] | node-level shared memory pool (LDMC/LDMS) |
+//! | [`qos`] | multi-tenant QoS: quotas, priority eviction, rate limits |
 //! | [`cluster`] | groups, election, placement, replication, eviction |
 //! | [`core`] | the tiered [`prelude::DisaggregatedMemory`] facade |
 //! | [`swap`] | FastSwap + swap baselines over a paging engine |
@@ -55,6 +56,7 @@ pub use dmem_kv as kv;
 pub use dmem_core as core;
 pub use dmem_net as net;
 pub use dmem_node as node;
+pub use dmem_qos as qos;
 pub use dmem_rdd as rdd;
 pub use dmem_sim as sim;
 pub use dmem_swap as swap;

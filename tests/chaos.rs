@@ -44,6 +44,109 @@ impl ChaosStatsRollup {
     }
 }
 
+/// Acceptance gate for the QoS control plane: the same 32-seed sweep
+/// with the multi-tenant engine installed must hold the original five
+/// invariants plus tenant-quota and priority-eviction, and admission
+/// control must demonstrably fire (not vacuously pass).
+#[test]
+fn qos_chaos_invariants_hold_across_32_seeds() {
+    let config = ChaosConfig::default();
+    let settings = ChaosSettings {
+        qos: true,
+        ..ChaosSettings::default()
+    };
+    let mut decisions = 0usize;
+    let mut total = ChaosStatsRollup::default();
+    for seed in 0..32u64 {
+        match run_seed(seed, &config, &settings) {
+            Ok(stats) => {
+                assert!(
+                    !stats.qos_digest.is_empty(),
+                    "qos runs must carry a decision digest"
+                );
+                let n: usize = stats
+                    .qos_digest
+                    .strip_prefix("n=")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|n| n.parse().ok())
+                    .expect("digest shape is n=<count> fnv=<hash>");
+                decisions += n;
+                total.absorb(seed, stats.acked_puts, stats.verified_reads);
+            }
+            Err(report) => panic!("qos seed {seed} violated an invariant:\n{report}"),
+        }
+    }
+    assert!(total.acked_puts > 500, "too few acked puts: {total:?}");
+    assert!(decisions > 500, "QoS decisions must actually fire: {decisions}");
+}
+
+/// Token-bucket / decision-log determinism: the same seed yields a
+/// byte-identical decision log (hence digest) run after run, and the
+/// digest is independent of how many other seeds run on sibling threads
+/// (each simulation is self-contained).
+#[test]
+fn qos_decision_log_is_deterministic() {
+    let config = ChaosConfig::default();
+    let settings = ChaosSettings {
+        qos: true,
+        ..ChaosSettings::default()
+    };
+    let a = run_seed(5, &config, &settings).expect("seed 5 is clean");
+    let b = run_seed(5, &config, &settings).expect("seed 5 is clean");
+    assert_eq!(a.qos_digest, b.qos_digest, "same seed, same decisions");
+    assert_eq!(a.metrics_digest, b.metrics_digest);
+
+    // Parallel sweep: run seeds 4..8 concurrently the way `chaos --jobs`
+    // does and require seed 5's digest to come out unchanged.
+    let parallel: Vec<(u64, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (4..8u64)
+            .map(|seed| {
+                let config = &config;
+                let settings = &settings;
+                scope.spawn(move || {
+                    let stats = run_seed(seed, config, settings).expect("clean");
+                    (seed, stats.qos_digest)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let from_parallel = parallel
+        .iter()
+        .find(|(seed, _)| *seed == 5)
+        .map(|(_, digest)| digest.clone())
+        .unwrap();
+    assert_eq!(from_parallel, a.qos_digest, "digest independent of sibling threads");
+}
+
+/// Virtual-time equivalence: with QoS *disabled* the system must behave
+/// exactly as it did before the control plane existed — same verified
+/// reads, same metric counters, and not a single `qos.*` or
+/// `net.tenant-*` key anywhere.
+#[test]
+fn qos_disabled_runs_match_plain_runs_exactly() {
+    let config = ChaosConfig::default();
+    let plain = run_seed(9, &config, &ChaosSettings::default()).expect("clean");
+    let disabled = run_seed(
+        9,
+        &config,
+        &ChaosSettings {
+            qos: false,
+            ..ChaosSettings::default()
+        },
+    )
+    .expect("clean");
+    assert_eq!(plain.acked_puts, disabled.acked_puts);
+    assert_eq!(plain.verified_reads, disabled.verified_reads);
+    assert_eq!(plain.metrics_digest, disabled.metrics_digest);
+    assert!(disabled.qos_digest.is_empty(), "no decision log without QoS");
+    assert!(
+        !disabled.metrics_digest.contains("qos."),
+        "no qos counters without QoS: {}",
+        disabled.metrics_digest
+    );
+}
+
 /// Same seed, same schedule, same outcome — the property every report
 /// depends on for reproduction.
 #[test]
