@@ -36,6 +36,29 @@ step "chaos smoke (seeds 0..32)" \
 step "qos chaos smoke (seeds 0..32)" \
     cargo run --release --quiet --bin chaos -- --seeds 0..32 --qos
 
+# Fault-free chaos output is pinned byte-for-byte against the committed
+# baseline: the fault-injection layer must cost exactly nothing — no RNG
+# draws, no clock advances, no metric keys — when it is not installed.
+step "chaos fault-free baseline (byte-identical)" sh -c '
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 \
+        > results/chaos_smoke_baseline.txt
+    git diff --exit-code -- results/chaos_smoke_baseline.txt
+'
+
+# The same sweep with the fabric fault layer armed: verb drops/delays/
+# duplication, partitions and QP breaks on every seed, judged by the
+# fault-reads and suspect-resolution invariants on top of the original
+# five. Run twice and diffed: the whole fault schedule — injections,
+# retries, failovers, suspicions — must be seed-deterministic down to
+# the per-seed metrics digests.
+step "faults chaos smoke (seeds 0..32, determinism gate)" sh -c '
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --faults \
+        > target/chaos_faults_a.txt
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --faults \
+        > target/chaos_faults_b.txt
+    diff target/chaos_faults_a.txt target/chaos_faults_b.txt
+'
+
 # QoS isolation smoke: the reduced ext_qos sweep must be byte-identical
 # to the committed golden CSV (virtual-clock determinism) and its
 # built-in acceptance check must pass (high-priority p99 flat under QoS,

@@ -1,0 +1,49 @@
+//! Golden-file test for `dmem_top --qos` (ROADMAP "telemetry").
+//!
+//! The per-tenant report — attribution table, metric keys, tenant rows
+//! and the QoS decision digest — runs entirely on the virtual clock, so
+//! its output is byte-identical across machines, build profiles and
+//! reruns. This test pins the whole report against a committed fixture;
+//! any intentional change to the report must regenerate it:
+//!
+//! ```sh
+//! cargo run --release -q -p dmem-bench --bin dmem_top -- --qos \
+//!     > results/dmem_top_qos.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn qos_report_matches_committed_fixture() {
+    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/dmem_top_qos.txt");
+    let expected = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture_path.display()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_dmem_top"))
+        .arg("--qos")
+        .output()
+        .expect("run dmem_top --qos");
+    assert!(
+        output.status.success(),
+        "dmem_top --qos exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = String::from_utf8(output.stdout).expect("report is UTF-8");
+
+    if actual != expected {
+        // A byte-diff dump beats assert_eq!'s one-line mismatch for a
+        // 40-line report: show the first diverging line.
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "report diverges from fixture at line {}", i + 1);
+        }
+        panic!(
+            "report and fixture differ in length: {} vs {} bytes \
+             (regenerate results/dmem_top_qos.txt if the change is intended)",
+            actual.len(),
+            expected.len()
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use dmem_sim::FailureInjector;
 use dmem_types::{ByteSize, NodeId};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -17,6 +17,10 @@ pub struct ClusterMembership {
     nodes: Arc<Vec<NodeId>>,
     failures: FailureInjector,
     free: Arc<RwLock<HashMap<NodeId, ByteSize>>>,
+    /// Nodes a failed read had to fail over past: candidates for the
+    /// repair path to probe, repair around, or evict. Populated only
+    /// under fault injection, so fault-free runs never touch it.
+    suspects: Arc<RwLock<BTreeSet<NodeId>>>,
 }
 
 impl ClusterMembership {
@@ -35,7 +39,31 @@ impl ClusterMembership {
             nodes: Arc::new(nodes),
             failures,
             free: Arc::new(RwLock::new(HashMap::new())),
+            suspects: Arc::new(RwLock::new(BTreeSet::new())),
         }
+    }
+
+    /// Marks `node` suspect after a read had to fail over past it.
+    /// Returns `true` if it was not already suspect.
+    pub fn mark_suspect(&self, node: NodeId) -> bool {
+        self.suspects.write().insert(node)
+    }
+
+    /// Clears a suspicion (the repair path probed the node healthy, or
+    /// repaired its data elsewhere and evicted it from replica sets).
+    /// Returns `true` if the node was suspect.
+    pub fn clear_suspect(&self, node: NodeId) -> bool {
+        self.suspects.write().remove(&node)
+    }
+
+    /// Whether `node` is currently suspect.
+    pub fn is_suspect(&self, node: NodeId) -> bool {
+        self.suspects.read().contains(&node)
+    }
+
+    /// All currently suspect nodes, sorted.
+    pub fn suspects(&self) -> Vec<NodeId> {
+        self.suspects.read().iter().copied().collect()
     }
 
     /// All configured nodes (alive or not), in configuration order.
@@ -138,6 +166,20 @@ mod tests {
         assert_eq!(m.free_of(NodeId::new(0)), ByteSize::ZERO);
         m.advertise_free(NodeId::new(0), ByteSize::from_mib(5));
         assert_eq!(m.free_of(NodeId::new(0)), ByteSize::from_mib(5));
+    }
+
+    #[test]
+    fn suspects_are_shared_sorted_and_idempotent() {
+        let (_, m) = membership(4);
+        let peer = m.clone(); // clones share the suspect set
+        assert!(m.mark_suspect(NodeId::new(2)));
+        assert!(!m.mark_suspect(NodeId::new(2)), "second mark is a no-op");
+        assert!(m.mark_suspect(NodeId::new(1)));
+        assert!(peer.is_suspect(NodeId::new(2)));
+        assert_eq!(peer.suspects(), vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(peer.clear_suspect(NodeId::new(1)));
+        assert!(!peer.clear_suspect(NodeId::new(1)));
+        assert_eq!(m.suspects(), vec![NodeId::new(2)]);
     }
 
     #[test]

@@ -167,6 +167,15 @@ impl Replicator {
     /// Reads the entry from the replica set, failing over across
     /// replicas in order.
     ///
+    /// Under fault injection a successful failover also marks every
+    /// skipped replica that *failed to answer* (verb timeout, link down,
+    /// node unreachable) *suspect* in the membership, handing it to the
+    /// repair path to probe healthy, repair around, or evict. A replica
+    /// that answers `EntryNotFound` is healthy — it responded, it just
+    /// lost the copy (e.g. a restart) — so it is skipped without
+    /// suspicion. Fault-free runs skip all of that accounting, so their
+    /// metrics stay byte-identical.
+    ///
     /// # Errors
     ///
     /// Returns the last replica's error if every replica fails.
@@ -177,10 +186,42 @@ impl Replicator {
         replicas: &ReplicaSet,
     ) -> DmemResult<Vec<u8>> {
         let mut last_err = DmemError::EntryNotFound(entry);
-        for &node in &replicas.nodes {
+        let mut unresponsive: Vec<NodeId> = Vec::new();
+        for (skipped, &node) in replicas.nodes.iter().enumerate() {
             match self.store.load(from, node, entry) {
-                Ok(data) => return Ok(data),
-                Err(e) => last_err = e,
+                Ok(data) => {
+                    if skipped > 0 && self.store.fabric().faults_installed() {
+                        let metrics = self.store.fabric().metrics();
+                        metrics.counter("cluster.failover.reads").inc();
+                        let now = self.store.fabric().clock().now();
+                        self.store.fabric().clock().tracer().record_async(
+                            "cluster",
+                            "failover.read",
+                            now,
+                            now,
+                            &[("skipped", skipped as u64)],
+                        );
+                        for &suspect in &unresponsive {
+                            if self.membership().mark_suspect(suspect) {
+                                metrics.counter("cluster.suspect.marked").inc();
+                            }
+                        }
+                    }
+                    return Ok(data);
+                }
+                Err(e) => {
+                    if self.store.fabric().faults_installed()
+                        && matches!(
+                            e,
+                            DmemError::Timeout { .. }
+                                | DmemError::LinkDown { .. }
+                                | DmemError::NodeUnavailable(_)
+                        )
+                    {
+                        unresponsive.push(node);
+                    }
+                    last_err = e;
+                }
             }
         }
         Err(last_err)

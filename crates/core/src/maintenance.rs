@@ -165,7 +165,17 @@ impl Maintenance {
                     }
                     Task::Eviction => {
                         report.eviction_scans += 1;
-                        let outcome = self.dm.run_eviction(&self.evictor, &self.placer)?;
+                        let outcome = match self.dm.run_eviction(&self.evictor, &self.placer) {
+                            Ok(outcome) => outcome,
+                            Err(e) => {
+                                // An aborted window must still resolve
+                                // read-failover suspicions — the closing
+                                // repair scan below won't run. No-op (and
+                                // metric-free) without fault injection.
+                                self.dm.resolve_suspects();
+                                return Err(e);
+                            }
+                        };
                         report.evicted_entries += outcome.moves.len() as u64;
                         report.reclaimed += outcome.reclaimed;
                         self.queue.schedule(

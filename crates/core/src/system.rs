@@ -18,7 +18,7 @@ use dmem_types::{
     NodeId, ServerId, SizeClass, TenantId, PAGE_SIZE,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -1197,7 +1197,46 @@ impl DisaggregatedMemory {
             }
         }
         span.tag("repaired", repaired);
+        self.resolve_suspects();
         repaired
+    }
+
+    /// Resolves read-failover suspicions at the end of a repair scan:
+    /// an alive suspect reachable from every alive peer is probed
+    /// healthy and cleared; a dead suspect no longer referenced by any
+    /// replica set has been fully repaired around and is evicted from
+    /// the suspect list. Anything else stays suspect for the next scan.
+    ///
+    /// Suspects exist only under fault injection ([`Fabric::faults_installed`]),
+    /// so fault-free runs take the empty early-return and create no
+    /// metric keys.
+    pub(crate) fn resolve_suspects(&self) {
+        let suspects = self.membership.suspects();
+        if suspects.is_empty() {
+            return;
+        }
+        let referenced: HashSet<NodeId> = self
+            .entries_snapshot()
+            .into_iter()
+            .filter_map(|(_, _, record)| match record.location {
+                EntryLocation::Remote { replicas } => Some(replicas),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let alive = self.membership.alive_nodes();
+        for node in suspects {
+            if self.membership.is_alive(node) {
+                let reachable = alive
+                    .iter()
+                    .all(|&peer| peer == node || self.fabric.is_path_up(peer, node));
+                if reachable && self.membership.clear_suspect(node) {
+                    self.metrics.counter("cluster.suspect.cleared").inc();
+                }
+            } else if !referenced.contains(&node) && self.membership.clear_suspect(node) {
+                self.metrics.counter("cluster.suspect.evicted").inc();
+            }
+        }
     }
 
     /// Handles a crashed-and-restarted node: hosted remote entries are

@@ -1,5 +1,6 @@
 //! The fabric: registered memory regions, queue pairs and verbs.
 
+use crate::faults::{FabricFault, FabricFaults, VerbOutcome};
 use dmem_sim::{CostModel, FailureInjector, MetricsRegistry, SimClock, SimInstant};
 use dmem_types::{ByteSize, DmemError, DmemResult, MrId, NodeId, QpId, TenantId};
 use parking_lot::Mutex;
@@ -7,7 +8,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Handle to a registered memory region; carries the remote key the owner
 /// hands out to peers.
@@ -48,6 +49,9 @@ struct QpState {
     seq_from_a: u64,
     seq_from_b: u64,
     connected: bool,
+    /// A broken queue pair (fault injection drove it to the RC error
+    /// state): verbs fail until the connection manager re-establishes.
+    error: bool,
 }
 
 struct Inner {
@@ -97,6 +101,10 @@ pub struct Fabric {
     /// operations; per-tenant counters exist only while a scope is set,
     /// so QoS-disabled runs create no extra metric keys.
     tenant_scope: Arc<AtomicU64>,
+    /// Installed-at-most-once fault layer. Absent (the default), verbs
+    /// run exactly as they always have: no extra RNG draws, clock
+    /// advances or metric keys, so fault-free runs stay byte-identical.
+    faults: Arc<OnceLock<Arc<FabricFaults>>>,
 }
 
 /// Sentinel for "no tenant scope in force".
@@ -120,7 +128,34 @@ impl Fabric {
             })),
             next_id: Arc::new(AtomicU64::new(1)),
             tenant_scope: Arc::new(AtomicU64::new(NO_TENANT)),
+            faults: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Installs the fault-injection layer. All clones of this fabric
+    /// observe it; verbs consult it from then on for drops, delays,
+    /// duplication, partitions and the retry policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a layer is already installed — swapping adversaries
+    /// mid-run would break seed reproducibility.
+    pub fn install_faults(&self, faults: Arc<FabricFaults>) {
+        if self.faults.set(faults).is_err() {
+            panic!("fault layer already installed for this fabric");
+        }
+    }
+
+    /// The installed fault layer, if any.
+    pub fn faults(&self) -> Option<&Arc<FabricFaults>> {
+        self.faults.get()
+    }
+
+    /// Whether a fault layer is installed. Layers above use this to keep
+    /// their fault-mode accounting (failover counters, suspect marking,
+    /// disk write-through) out of fault-free runs.
+    pub fn faults_installed(&self) -> bool {
+        self.faults.get().is_some()
     }
 
     /// Sets (or clears) the tenant charged for subsequent verbs. All
@@ -267,6 +302,7 @@ impl Fabric {
                 seq_from_a: 0,
                 seq_from_b: 0,
                 connected: true,
+                error: false,
             },
         );
         self.metrics.counter("net.qp.connected").inc();
@@ -309,6 +345,7 @@ impl Fabric {
     }
 
     fn check_path(&self, a: NodeId, b: NodeId) -> DmemResult<()> {
+        self.apply_due_faults();
         if !self.failures.is_node_up(a) {
             return Err(DmemError::NodeUnavailable(a));
         }
@@ -318,18 +355,186 @@ impl Fabric {
         if !self.failures.is_link_up(a, b) {
             return Err(DmemError::LinkDown { from: a, to: b });
         }
+        if let Some(faults) = self.faults.get() {
+            if faults.partitioned(a, b) {
+                return Err(DmemError::LinkDown { from: a, to: b });
+            }
+        }
         Ok(())
+    }
+
+    /// Applies every scheduled fault whose due time has passed. Called
+    /// from [`Fabric::check_path`], so any verb (or reachability query)
+    /// observes the fault state as of the current virtual instant.
+    fn apply_due_faults(&self) {
+        let Some(faults) = self.faults.get() else { return };
+        for fault in faults.take_due(self.clock.now()) {
+            match fault {
+                FabricFault::Partition { .. } => {
+                    self.metrics.counter("faults.partition.begin").inc();
+                }
+                FabricFault::Heal { .. } => {
+                    self.metrics.counter("faults.partition.heal").inc();
+                }
+                FabricFault::BreakQps { a, b } => {
+                    self.break_qps(a, b);
+                }
+            }
+        }
+    }
+
+    /// Drives every established queue pair between `a` and `b` (either
+    /// orientation) to the error state, as a NIC does on RC retransmit
+    /// exhaustion. Verbs on a broken pair fail with [`DmemError::LinkDown`]
+    /// until [`crate::ConnectionManager`] re-establishes fresh pairs.
+    /// Returns how many pairs broke.
+    pub fn break_qps(&self, a: NodeId, b: NodeId) -> usize {
+        let mut broken = 0usize;
+        {
+            let mut inner = self.inner.lock();
+            for state in inner.qps.values_mut() {
+                let on_pair = (state.a == a && state.b == b) || (state.a == b && state.b == a);
+                if on_pair && state.connected && !state.error {
+                    state.error = true;
+                    broken += 1;
+                }
+            }
+        }
+        if broken > 0 {
+            self.metrics.counter("faults.qp.broken").add(broken as u64);
+        }
+        broken
     }
 
     fn check_qp(&self, qp: &QpHandle) -> DmemResult<()> {
         self.check_path(qp.local, qp.peer)?;
         let inner = self.inner.lock();
         match inner.qps.get(&qp.qp) {
-            Some(state) if state.connected => Ok(()),
+            Some(state) if state.connected && !state.error => Ok(()),
             _ => Err(DmemError::LinkDown {
                 from: qp.local,
                 to: qp.peer,
             }),
+        }
+    }
+
+    /// Runs one verb attempt under the installed retry policy: transient
+    /// failures (timeouts, link errors) back off exponentially with
+    /// seeded jitter on the virtual clock and retry, up to the policy's
+    /// attempt budget or per-verb deadline. Without an installed fault
+    /// layer this is exactly one plain call.
+    ///
+    /// Backoff waits happen outside any sync span, so they land in the
+    /// attribution's `(untraced)` row and the exact-identity property
+    /// (rows + untraced = total) is preserved; each wait is additionally
+    /// recorded as an async `faults/backoff` timeline event.
+    fn with_retry<T>(
+        &self,
+        what: &'static str,
+        mut attempt_once: impl FnMut() -> DmemResult<T>,
+    ) -> DmemResult<T> {
+        let Some(faults) = self.faults.get() else {
+            return attempt_once();
+        };
+        let policy = faults.retry();
+        let deadline = self.clock.now() + policy.op_timeout;
+        let mut attempt = 0u32;
+        loop {
+            match attempt_once() {
+                Ok(value) => {
+                    if attempt > 0 {
+                        self.metrics.counter("faults.retry.recovered").inc();
+                    }
+                    return Ok(value);
+                }
+                Err(e) => {
+                    let transient = matches!(
+                        e,
+                        DmemError::Timeout { .. } | DmemError::LinkDown { .. }
+                    );
+                    if !transient || attempt + 1 >= policy.attempts.max(1) {
+                        if transient {
+                            self.metrics.counter("faults.retry.exhausted").inc();
+                        }
+                        return Err(e);
+                    }
+                    let now = self.clock.now();
+                    if now >= deadline {
+                        self.metrics.counter("faults.retry.deadline").inc();
+                        return Err(DmemError::Timeout {
+                            what: format!("net.{what} deadline"),
+                        });
+                    }
+                    let wait = faults.jittered_backoff(attempt);
+                    self.metrics.counter("faults.retry.attempts").inc();
+                    self.clock.advance(wait);
+                    self.clock.tracer().record_async(
+                        "faults",
+                        "backoff",
+                        now,
+                        self.clock.now(),
+                        &[("attempt", u64::from(attempt) + 1)],
+                    );
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies the fault layer's verdict to one verb attempt: charges
+    /// injected latency (delays, duplicated transfers) to the virtual
+    /// clock and surfaces drops as timeouts. No-op without a layer.
+    fn inject_verb_fault(&self, verb: &'static str, bytes: usize) -> DmemResult<()> {
+        let Some(faults) = self.faults.get() else {
+            return Ok(());
+        };
+        match faults.verb_outcome() {
+            VerbOutcome::Deliver => Ok(()),
+            VerbOutcome::Drop => {
+                // The verb left the NIC; the RC retransmit budget burns
+                // the full transfer before the caller sees the timeout.
+                let t0 = self.clock.now();
+                self.clock.advance(self.cost.rdma.transfer(bytes));
+                self.metrics.counter("faults.inject.drop").inc();
+                self.clock.tracer().record_async(
+                    "faults",
+                    "drop",
+                    t0,
+                    self.clock.now(),
+                    &[("bytes", bytes as u64)],
+                );
+                Err(DmemError::Timeout {
+                    what: format!("rdma {verb}"),
+                })
+            }
+            VerbOutcome::Delay(extra) => {
+                let t0 = self.clock.now();
+                self.clock.advance(extra);
+                self.metrics.counter("faults.inject.delay").inc();
+                self.clock.tracer().record_async(
+                    "faults",
+                    "delay",
+                    t0,
+                    self.clock.now(),
+                    &[("bytes", bytes as u64)],
+                );
+                Ok(())
+            }
+            VerbOutcome::Duplicate => {
+                // Idempotent at this layer (same bytes, same slot), so
+                // duplication costs wire time, not correctness.
+                let t0 = self.clock.now();
+                self.clock.advance(self.cost.rdma.transfer(bytes));
+                self.metrics.counter("faults.inject.duplicate").inc();
+                self.clock.tracer().record_async(
+                    "faults",
+                    "duplicate",
+                    t0,
+                    self.clock.now(),
+                    &[("bytes", bytes as u64)],
+                );
+                Ok(())
+            }
         }
     }
 
@@ -345,9 +550,20 @@ impl Fabric {
     /// ([`DmemError::RegionOutOfBounds`]), or the region is not on the
     /// peer node ([`DmemError::AccessDenied`]).
     pub fn write(&self, qp: &QpHandle, data: &[u8], region: &RegionHandle, offset: u64) -> DmemResult<()> {
+        self.with_retry("write", || self.write_attempt(qp, data, region, offset))
+    }
+
+    fn write_attempt(
+        &self,
+        qp: &QpHandle,
+        data: &[u8],
+        region: &RegionHandle,
+        offset: u64,
+    ) -> DmemResult<()> {
         let span = self.clock.tracer().span("net", "write");
         span.tag("bytes", data.len());
         self.one_sided_access(qp, region, offset, data.len())?;
+        self.inject_verb_fault("write", data.len())?;
         let t0 = self.clock.now();
         self.clock.advance(self.cost.rdma.transfer(data.len()));
         let elapsed = self.clock.now() - t0;
@@ -371,9 +587,20 @@ impl Fabric {
     ///
     /// Same failure modes as [`Fabric::write`].
     pub fn read(&self, qp: &QpHandle, region: &RegionHandle, offset: u64, len: usize) -> DmemResult<Vec<u8>> {
+        self.with_retry("read", || self.read_attempt(qp, region, offset, len))
+    }
+
+    fn read_attempt(
+        &self,
+        qp: &QpHandle,
+        region: &RegionHandle,
+        offset: u64,
+        len: usize,
+    ) -> DmemResult<Vec<u8>> {
         let span = self.clock.tracer().span("net", "read");
         span.tag("bytes", len);
         self.one_sided_access(qp, region, offset, len)?;
+        self.inject_verb_fault("read", len)?;
         let t0 = self.clock.now();
         self.clock.advance(self.cost.rdma.transfer(len));
         let elapsed = self.clock.now() - t0;
@@ -437,9 +664,19 @@ impl Fabric {
     ///
     /// Fails with the same path errors as the one-sided verbs.
     pub fn send(&self, qp: &QpHandle, msg: Vec<u8>) -> DmemResult<u64> {
+        // The clone feeds retries; skip it entirely on the fault-free
+        // hot path.
+        if self.faults.get().is_none() {
+            return self.send_attempt(qp, msg);
+        }
+        self.with_retry("send", || self.send_attempt(qp, msg.clone()))
+    }
+
+    fn send_attempt(&self, qp: &QpHandle, msg: Vec<u8>) -> DmemResult<u64> {
         let span = self.clock.tracer().span("net", "send");
         span.tag("bytes", msg.len());
         self.check_qp(qp)?;
+        self.inject_verb_fault("send", msg.len())?;
         let msg_len = msg.len() as u64;
         self.clock.advance(self.cost.rdma.transfer(msg.len()));
         let mut inner = self.inner.lock();

@@ -1,0 +1,420 @@
+//! Deterministic fabric fault injection (ROADMAP "failure semantics").
+//!
+//! The paper's survey chapters single out fault tolerance of the
+//! far-memory path as the hardest open problem: a fabric that silently
+//! never fails hides every bug in the recovery code above it. This module
+//! supplies the missing adversary — a seeded, virtual-clock-scheduled
+//! fault layer the [`crate::Fabric`] consults on every verb — plus the
+//! retry policy the fabric uses to survive it.
+//!
+//! Everything is deterministic: outcomes come from a [`DetRng`] fork, so
+//! the same seed produces the same drops, delays, partitions and QP
+//! breaks, run after run and across parallel chaos jobs.
+//!
+//! The layer is strictly opt-in. A fabric without an installed
+//! [`FabricFaults`] performs zero extra RNG draws, zero extra clock
+//! advances and creates zero extra metric keys, keeping fault-free runs
+//! byte-identical to builds that predate this module.
+
+use dmem_sim::{DetRng, SimDuration, SimInstant};
+use dmem_types::NodeId;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Per-verb fault probabilities.
+///
+/// Probabilities are evaluated per verb attempt from the layer's seeded
+/// RNG; they are independent of link or payload (the simulated fabric is
+/// symmetric, and per-link skew would only thin each probability out).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// Probability a verb is dropped on the wire (the caller observes a
+    /// timeout after the transfer budget burns).
+    pub drop: f64,
+    /// Probability a verb is delayed by a uniform extra latency.
+    pub delay: f64,
+    /// Upper bound for the injected delay.
+    pub max_delay: SimDuration,
+    /// Probability a verb is duplicated (the wire carries it twice; verbs
+    /// are idempotent at this layer, so only the time cost doubles).
+    pub duplicate: f64,
+}
+
+impl FaultProfile {
+    /// The profile the chaos `--faults` mode runs: 2% drop, 5% delay of
+    /// up to 20 µs, 1% duplication. High enough that every seed retries,
+    /// low enough that a 5-attempt policy fails a verb on an *up* path
+    /// with probability ~3e-9 (which would falsely trip the durability
+    /// invariant).
+    pub fn chaos_default() -> Self {
+        FaultProfile {
+            drop: 0.02,
+            delay: 0.05,
+            max_delay: SimDuration::from_micros(20),
+            duplicate: 0.01,
+        }
+    }
+
+    /// All probabilities zero: the layer is installed (retries armed, QP
+    /// breaks and partitions honoured) but no verb-level noise fires.
+    pub fn none() -> Self {
+        FaultProfile {
+            drop: 0.0,
+            delay: 0.0,
+            max_delay: SimDuration::ZERO,
+            duplicate: 0.0,
+        }
+    }
+}
+
+/// Verb-level retry policy: capped exponential backoff with jitter, all
+/// on the virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per verb (first try included). Always ≥ 1.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Backoff growth cap.
+    pub max_backoff: SimDuration,
+    /// Overall per-verb deadline: once this much virtual time has passed
+    /// since the first attempt, the verb fails with a timeout even if
+    /// attempts remain.
+    pub op_timeout: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 10 µs doubling to a 160 µs cap, 2 ms per-verb
+    /// deadline — roughly the RC retransmit budget of a real NIC scaled
+    /// to the cost model's microsecond fabric.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_backoff: SimDuration::from_micros(10),
+            max_backoff: SimDuration::from_micros(160),
+            op_timeout: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic (un-jittered) backoff before retry number
+    /// `attempt` (0-based): `base · 2^attempt`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    ///
+    /// With the default policy the sequence is 10, 20, 40, 80, 160,
+    /// 160, … µs.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let grown = self
+            .base_backoff
+            .as_nanos()
+            .saturating_shl(attempt.min(32))
+            .max(self.base_backoff.as_nanos());
+        SimDuration::from_nanos(grown.min(self.max_backoff.as_nanos()))
+    }
+}
+
+/// A scheduled fabric fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricFault {
+    /// Sever all traffic between a host pair (both directions) until the
+    /// matching [`FabricFault::Heal`].
+    Partition {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Lift a previously injected partition of the pair.
+    Heal {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Transition every established queue pair between the hosts to the
+    /// error state; traffic resumes only after the connection manager
+    /// re-establishes fresh queue pairs.
+    BreakQps {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for FabricFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricFault::Partition { a, b } => write!(f, "partition {a}<->{b}"),
+            FabricFault::Heal { a, b } => write!(f, "heal {a}<->{b}"),
+            FabricFault::BreakQps { a, b } => write!(f, "break-qps {a}<->{b}"),
+        }
+    }
+}
+
+/// The fate the fault layer assigns one verb attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbOutcome {
+    /// Delivered normally.
+    Deliver,
+    /// Lost on the wire: the transfer budget burns, then a timeout.
+    Drop,
+    /// Delivered after an extra injected latency.
+    Delay(SimDuration),
+    /// Delivered, but the wire carried it twice (double transfer cost).
+    Duplicate,
+}
+
+/// Interior state behind one mutex so outcome draws, pending events and
+/// the partition set mutate atomically and deterministically.
+struct FaultState {
+    rng: DetRng,
+    /// Scheduled faults, sorted by due instant (stable for equal times).
+    pending: Vec<(SimInstant, FabricFault)>,
+    /// Currently partitioned host pairs, stored with endpoints ordered.
+    partitions: BTreeSet<(NodeId, NodeId)>,
+}
+
+/// The seeded fault layer a [`crate::Fabric`] consults on every verb.
+///
+/// Install with [`crate::Fabric::install_faults`]; at most one layer per
+/// fabric, for the whole run (mirroring the QoS engine's install
+/// contract).
+pub struct FabricFaults {
+    profile: FaultProfile,
+    retry: RetryPolicy,
+    state: Mutex<FaultState>,
+}
+
+/// Normalizes a host pair so `(a, b)` and `(b, a)` name the same link.
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl FabricFaults {
+    /// Creates a layer drawing outcomes and jitter from `rng`.
+    pub fn new(rng: DetRng, profile: FaultProfile, retry: RetryPolicy) -> Self {
+        FabricFaults {
+            profile,
+            retry,
+            state: Mutex::new(FaultState {
+                rng,
+                pending: Vec::new(),
+                partitions: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// The retry policy verbs run under while this layer is installed.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The verb fault profile in force.
+    pub fn profile(&self) -> FaultProfile {
+        self.profile
+    }
+
+    /// Schedules `fault` to fire once the virtual clock reaches `at`.
+    /// Faults are applied lazily, the next time the fabric validates a
+    /// path at or after that instant.
+    pub fn schedule(&self, at: SimInstant, fault: FabricFault) {
+        let mut state = self.state.lock();
+        let pos = state.pending.partition_point(|(due, _)| *due <= at);
+        state.pending.insert(pos, (at, fault));
+    }
+
+    /// Drains every fault due at or before `now`, applying partition and
+    /// heal transitions to the layer's own pair set, and returns the
+    /// drained faults in firing order so the fabric can apply QP breaks
+    /// and count what fired.
+    pub fn take_due(&self, now: SimInstant) -> Vec<FabricFault> {
+        let mut state = self.state.lock();
+        if state.pending.is_empty() {
+            return Vec::new();
+        }
+        let upto = state.pending.partition_point(|(due, _)| *due <= now);
+        let due: Vec<FabricFault> =
+            state.pending.drain(..upto).map(|(_, fault)| fault).collect();
+        for fault in &due {
+            match *fault {
+                FabricFault::Partition { a, b } => {
+                    state.partitions.insert(ordered(a, b));
+                }
+                FabricFault::Heal { a, b } => {
+                    state.partitions.remove(&ordered(a, b));
+                }
+                FabricFault::BreakQps { .. } => {}
+            }
+        }
+        due
+    }
+
+    /// Whether faults remain scheduled but not yet applied.
+    pub fn pending_len(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// Partitions the pair immediately. Returns `false` if it already was.
+    pub fn partition_now(&self, a: NodeId, b: NodeId) -> bool {
+        self.state.lock().partitions.insert(ordered(a, b))
+    }
+
+    /// Heals the pair immediately. Returns `false` if it was not
+    /// partitioned.
+    pub fn heal_now(&self, a: NodeId, b: NodeId) -> bool {
+        self.state.lock().partitions.remove(&ordered(a, b))
+    }
+
+    /// Whether the pair is currently partitioned.
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.state.lock().partitions.contains(&ordered(a, b))
+    }
+
+    /// Number of host pairs currently partitioned.
+    pub fn active_partitions(&self) -> usize {
+        self.state.lock().partitions.len()
+    }
+
+    /// Draws the fate of one verb attempt from the seeded stream.
+    pub fn verb_outcome(&self) -> VerbOutcome {
+        let p = self.profile;
+        let mut state = self.state.lock();
+        let roll = state.rng.unit();
+        if roll < p.drop {
+            VerbOutcome::Drop
+        } else if roll < p.drop + p.delay {
+            let span = p.max_delay.as_nanos().max(1) as usize;
+            let extra = 1 + state.rng.below(span) as u64;
+            VerbOutcome::Delay(SimDuration::from_nanos(extra))
+        } else if roll < p.drop + p.delay + p.duplicate {
+            VerbOutcome::Duplicate
+        } else {
+            VerbOutcome::Deliver
+        }
+    }
+
+    /// The jittered backoff before retry `attempt` (0-based): half the
+    /// deterministic [`RetryPolicy::backoff`] plus a uniform draw over
+    /// the other half ("equal jitter"), so concurrent retries decorrelate
+    /// while the expected wait keeps the exponential shape.
+    pub fn jittered_backoff(&self, attempt: u32) -> SimDuration {
+        let full = self.retry.backoff(attempt).as_nanos();
+        let half = full / 2;
+        let jitter = self.state.lock().rng.below((full - half + 1) as usize) as u64;
+        SimDuration::from_nanos(half + jitter)
+    }
+}
+
+impl fmt::Debug for FabricFaults {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("FabricFaults")
+            .field("profile", &self.profile)
+            .field("retry", &self.retry)
+            .field("pending", &state.pending.len())
+            .field("partitions", &state.partitions.len())
+            .finish()
+    }
+}
+
+/// `u64` has no `saturating_shl`; a helper keeps [`RetryPolicy::backoff`]
+/// readable.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_sequence_doubles_then_caps() {
+        let policy = RetryPolicy::default();
+        let micros: Vec<u64> = (0..7)
+            .map(|i| policy.backoff(i).as_nanos() / 1_000)
+            .collect();
+        assert_eq!(micros, vec![10, 20, 40, 80, 160, 160, 160]);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_the_envelope() {
+        let layer = FabricFaults::new(
+            DetRng::new(7),
+            FaultProfile::chaos_default(),
+            RetryPolicy::default(),
+        );
+        for attempt in 0..6 {
+            let full = layer.retry().backoff(attempt);
+            for _ in 0..32 {
+                let j = layer.jittered_backoff(attempt);
+                assert!(j.as_nanos() >= full.as_nanos() / 2, "below half: {j:?}");
+                assert!(j <= full, "beyond cap: {j:?} > {full:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_faults_fire_in_time_order() {
+        let layer = FabricFaults::new(
+            DetRng::new(1),
+            FaultProfile::none(),
+            RetryPolicy::default(),
+        );
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        layer.schedule(
+            SimInstant::from_nanos(200),
+            FabricFault::Heal { a, b },
+        );
+        layer.schedule(
+            SimInstant::from_nanos(100),
+            FabricFault::Partition { a, b },
+        );
+        assert!(layer.take_due(SimInstant::from_nanos(50)).is_empty());
+        let first = layer.take_due(SimInstant::from_nanos(150));
+        assert_eq!(first, vec![FabricFault::Partition { a, b }]);
+        assert!(layer.partitioned(b, a), "partition applied, order-blind");
+        let second = layer.take_due(SimInstant::from_nanos(300));
+        assert_eq!(second, vec![FabricFault::Heal { a, b }]);
+        assert!(!layer.partitioned(a, b));
+        assert_eq!(layer.pending_len(), 0);
+    }
+
+    #[test]
+    fn outcomes_are_seed_deterministic() {
+        let draw = |seed| {
+            let layer = FabricFaults::new(
+                DetRng::new(seed),
+                FaultProfile::chaos_default(),
+                RetryPolicy::default(),
+            );
+            (0..256).map(|_| layer.verb_outcome()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn none_profile_always_delivers() {
+        let layer = FabricFaults::new(
+            DetRng::new(3),
+            FaultProfile::none(),
+            RetryPolicy::default(),
+        );
+        for _ in 0..100 {
+            assert_eq!(layer.verb_outcome(), VerbOutcome::Deliver);
+        }
+    }
+}

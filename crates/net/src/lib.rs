@@ -47,7 +47,9 @@
 pub mod batch;
 pub mod cm;
 pub mod fabric;
+pub mod faults;
 
 pub use batch::BatchSender;
 pub use cm::{ChannelKind, ConnectionManager};
 pub use fabric::{Completion, CompletionKind, Fabric, QpHandle, RegionHandle};
+pub use faults::{FabricFault, FabricFaults, FaultProfile, RetryPolicy, VerbOutcome};

@@ -101,6 +101,7 @@ impl TokenBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn at(ns: u64) -> SimInstant {
         SimInstant::from_nanos(ns)
@@ -160,5 +161,83 @@ mod tests {
         let w = b.acquire(2, at(0));
         assert!(w > SimDuration::ZERO);
         assert!(w.as_nanos() < u64::MAX);
+    }
+
+    // Property tests for the nano-token fixed-point arithmetic: the
+    // invariants the chaos digests silently depend on (saturation at the
+    // burst cap, finite waits even for clamped zero-rate buckets, and the
+    // engine's throttle-halving charge never panicking or regressing).
+    proptest! {
+        /// Idle time refills to the cap and not a nano-byte past it: after
+        /// any idle gap a full-burst charge is free, and the very next
+        /// byte waits.
+        #[test]
+        fn prop_refill_saturates_at_the_burst_cap(
+            rate in 1u64..10_000_000,
+            burst in 1u64..1_000_000,
+            idle_ns in 0u64..100_000_000_000,
+        ) {
+            let mut b = TokenBucket::new(rate, burst);
+            // Drain the initial burst, then idle arbitrarily long.
+            prop_assert_eq!(b.acquire(burst, at(0)), SimDuration::ZERO);
+            let later = 1 + idle_ns;
+            // Whatever refilled is capped at `burst`: a follow-up byte at
+            // the same instant must wait exactly one byte's worth
+            // whenever the idle gap was long enough to refill fully.
+            let fully_refilled = u128::from(later) * u128::from(rate) >= u128::from(burst) * NANO;
+            if fully_refilled {
+                prop_assert_eq!(b.acquire(burst, at(later)), SimDuration::ZERO);
+                let w = b.acquire(1, at(later));
+                prop_assert_eq!(w.as_nanos(), NANO.div_ceil(u128::from(rate)) as u64);
+            } else {
+                // Partial refill: the burst charge waits for precisely the
+                // missing tokens, never underflows, never hangs.
+                let w = b.acquire(burst, at(later));
+                prop_assert!(w.as_nanos() < u64::MAX);
+            }
+        }
+
+        /// A zero rate is clamped, not honoured: every charge completes
+        /// with a finite, positive wait once the burst is gone.
+        #[test]
+        fn prop_zero_rate_buckets_stay_finite(
+            bytes in 1u64..1_000_000_000,
+            now_ns in 0u64..1_000_000_000,
+        ) {
+            let mut b = TokenBucket::new(0, 0);
+            let first = b.acquire(bytes, at(now_ns));
+            prop_assert!(first.as_nanos() < u64::MAX, "wait must stay finite");
+            // The clamped 1 B/s rate repays `bytes` in exactly that many
+            // virtual seconds (the 1-byte burst absorbs one byte once).
+            prop_assert!(first.as_nanos() >= (bytes - 1).saturating_mul(NANO as u64 / 1));
+        }
+
+        /// The QoS engine's throttle penalty charges `bytes << level`
+        /// (capped at 32): for any realistic transfer size and *any*
+        /// throttle level the charge neither panics nor wraps, and a
+        /// harsher level never waits less on a fresh bucket.
+        #[test]
+        fn prop_throttle_halving_never_panics_and_never_regresses(
+            rate in 1u64..100_000_000,
+            burst in 1u64..1_000_000,
+            bytes in 1u64..4_294_967_295u64,
+        ) {
+            let mut previous = SimDuration::ZERO;
+            for level in 0u8..=u8::MAX {
+                // Mirrors `QosEngine::fabric_acquire`'s charge math.
+                let charged = bytes << u64::from(level).min(32);
+                prop_assert!(charged >= bytes, "charge wrapped at level {level}");
+                let mut b = TokenBucket::new(rate, burst);
+                let w = b.acquire(charged, at(0));
+                prop_assert!(w.as_nanos() < u64::MAX || charged > rate,
+                    "finite charge produced an unpayable wait");
+                prop_assert!(w >= previous,
+                    "level {level} waited less than level {}", level.wrapping_sub(1));
+                previous = w;
+                if level >= 40 {
+                    break; // beyond the 32-shift cap the charge is constant
+                }
+            }
+        }
     }
 }

@@ -52,6 +52,16 @@ pub struct ChaosConfig {
     /// least two repair intervals so the convergence invariant's bound
     /// ("degree restored within one maintenance window") is fair.
     pub maintain_horizon: SimDuration,
+    /// Generate fabric-fault steps (host-pair partitions with matched
+    /// heals, QP breaks) from an independent RNG fork. Off by default, so
+    /// schedules without it are byte-identical to pre-fault builds.
+    pub fabric_faults: bool,
+    /// Probability a step opens a host-pair partition (fabric faults
+    /// only; at most one partition is active at a time).
+    pub partition_probability: f64,
+    /// Probability a step breaks every QP of a host pair (fabric faults
+    /// only).
+    pub qp_break_probability: f64,
 }
 
 impl Default for ChaosConfig {
@@ -68,6 +78,9 @@ impl Default for ChaosConfig {
             max_recovery_steps: 20,
             max_concurrent_node_failures: 1,
             maintain_horizon: SimDuration::from_millis(250),
+            fabric_faults: false,
+            partition_probability: 0.05,
+            qp_break_probability: 0.05,
         }
     }
 }
@@ -126,6 +139,29 @@ pub enum ChaosStep {
         /// Window length on the virtual clock.
         horizon: SimDuration,
     },
+    /// Partition the host pair at the fabric fault layer: all verbs
+    /// between `a` and `b` fail until the matching [`ChaosStep::HealPair`].
+    PartitionPair {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Heal a previously injected host-pair partition.
+    HealPair {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Drive every established queue pair between the hosts to the RC
+    /// error state; traffic resumes only after re-establishment.
+    BreakQps {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
 }
 
 impl fmt::Display for ChaosStep {
@@ -139,6 +175,9 @@ impl fmt::Display for ChaosStep {
             ChaosStep::Delete { server, key } => write!(f, "delete {server} key={key}"),
             ChaosStep::Inject(event) => write!(f, "inject {event}"),
             ChaosStep::Maintain { horizon } => write!(f, "maintain {horizon}"),
+            ChaosStep::PartitionPair { a, b } => write!(f, "partition {a}<->{b}"),
+            ChaosStep::HealPair { a, b } => write!(f, "heal {a}<->{b}"),
+            ChaosStep::BreakQps { a, b } => write!(f, "break-qps {a}<->{b}"),
         }
     }
 }
@@ -170,6 +209,9 @@ impl ChaosSchedule {
         let root = DetRng::new(seed);
         let mut ops = root.fork("chaos.ops");
         let mut faults = root.fork("chaos.faults");
+        // Fabric faults draw from their own fork so enabling them leaves
+        // the ops/failure streams — and thus the base schedule — intact.
+        let mut netfaults = config.fabric_faults.then(|| root.fork("chaos.netfaults"));
         let servers = config.servers();
         let nodes: Vec<NodeId> = (0..config.nodes as u32).map(NodeId::new).collect();
 
@@ -179,8 +221,42 @@ impl ChaosSchedule {
         let mut down_nodes: HashSet<NodeId> = HashSet::new();
         let mut down_servers: HashSet<ServerId> = HashSet::new();
         let mut down_links: HashSet<(NodeId, NodeId)> = HashSet::new();
+        // base-step index -> partition heals due before that step runs.
+        let mut pending_heals: BTreeMap<usize, Vec<(NodeId, NodeId)>> = BTreeMap::new();
+        let mut partitioned: HashSet<(NodeId, NodeId)> = HashSet::new();
 
         for index in 0..config.steps {
+            if let Some(nf) = netfaults.as_mut() {
+                for (a, b) in pending_heals.remove(&index).unwrap_or_default() {
+                    partitioned.remove(&(a, b));
+                    steps.push(ChaosStep::HealPair { a, b });
+                }
+                let roll = nf.unit();
+                if roll < config.partition_probability {
+                    let a = nodes[nf.below(nodes.len())];
+                    let b = nodes[nf.below(nodes.len())];
+                    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                    // One partition at a time: a second concurrent cut
+                    // (plus the allowed node failure) could make triple
+                    // replication infeasible outright.
+                    if a != b && partitioned.is_empty() && partitioned.insert((a, b)) {
+                        let due = index
+                            + config.min_recovery_steps
+                            + nf.below(
+                                config.max_recovery_steps - config.min_recovery_steps + 1,
+                            );
+                        pending_heals.entry(due).or_default().push((a, b));
+                        steps.push(ChaosStep::PartitionPair { a, b });
+                    }
+                } else if roll < config.partition_probability + config.qp_break_probability {
+                    let a = nodes[nf.below(nodes.len())];
+                    let b = nodes[nf.below(nodes.len())];
+                    if a != b {
+                        steps.push(ChaosStep::BreakQps { a, b });
+                    }
+                }
+            }
+
             for event in recoveries.remove(&index).unwrap_or_default() {
                 match event {
                     FailureEvent::NodeUp(n) => {
@@ -269,10 +345,15 @@ impl ChaosSchedule {
             });
         }
 
-        // Flush recoveries that fell past the end, then settle.
+        // Flush recoveries and heals that fell past the end, then settle.
         for (_, events) in recoveries {
             for event in events {
                 steps.push(ChaosStep::Inject(event));
+            }
+        }
+        for (_, pairs) in pending_heals {
+            for (a, b) in pairs {
+                steps.push(ChaosStep::HealPair { a, b });
             }
         }
         steps.push(ChaosStep::Maintain {
@@ -373,6 +454,97 @@ mod tests {
             }
         }
         assert!(puts > 0 && gets > 0 && injects > 0 && maintains > 8);
+    }
+
+    #[test]
+    fn fabric_faults_off_leaves_schedules_byte_identical() {
+        // The flag must be purely additive: disabling it reproduces the
+        // exact schedules older builds generated.
+        let plain = ChaosConfig::default();
+        let off = ChaosConfig {
+            fabric_faults: false,
+            partition_probability: 0.9,
+            qp_break_probability: 0.9,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..16 {
+            assert_eq!(
+                ChaosSchedule::generate(seed, &plain),
+                ChaosSchedule::generate(seed, &off)
+            );
+        }
+    }
+
+    #[test]
+    fn fabric_faults_add_steps_without_touching_the_base_schedule() {
+        let plain = ChaosConfig::default();
+        let with = ChaosConfig {
+            fabric_faults: true,
+            ..ChaosConfig::default()
+        };
+        let mut partitions = 0usize;
+        let mut breaks = 0usize;
+        for seed in 0..16 {
+            let a = ChaosSchedule::generate(seed, &plain);
+            let b = ChaosSchedule::generate(seed, &with);
+            let strip: Vec<&ChaosStep> = b
+                .steps
+                .iter()
+                .filter(|s| {
+                    !matches!(
+                        s,
+                        ChaosStep::PartitionPair { .. }
+                            | ChaosStep::HealPair { .. }
+                            | ChaosStep::BreakQps { .. }
+                    )
+                })
+                .collect();
+            let base: Vec<&ChaosStep> = a.steps.iter().collect();
+            assert_eq!(strip, base, "seed {seed}: base schedule perturbed");
+            for step in &b.steps {
+                match step {
+                    ChaosStep::PartitionPair { .. } => partitions += 1,
+                    ChaosStep::BreakQps { a, b } => {
+                        assert_ne!(a, b, "seed {seed}");
+                        breaks += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(partitions > 0, "partitions must actually fire");
+        assert!(breaks > 0, "qp breaks must actually fire");
+    }
+
+    #[test]
+    fn every_partition_has_a_later_heal_and_one_active_at_a_time() {
+        let cfg = ChaosConfig {
+            fabric_faults: true,
+            partition_probability: 0.3,
+            steps: 300,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..8 {
+            let schedule = ChaosSchedule::generate(seed, &cfg);
+            let mut open = 0usize;
+            for (i, step) in schedule.steps.iter().enumerate() {
+                match step {
+                    ChaosStep::PartitionPair { a, b } => {
+                        open += 1;
+                        assert_eq!(open, 1, "seed {seed}: overlapping partitions");
+                        assert!(
+                            schedule.steps[i + 1..].iter().any(
+                                |s| *s == ChaosStep::HealPair { a: *a, b: *b }
+                            ),
+                            "seed {seed}: partition at step {i} never heals"
+                        );
+                    }
+                    ChaosStep::HealPair { .. } => open -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(open, 0, "seed {seed}: unhealed partition at end");
+        }
     }
 
     #[test]

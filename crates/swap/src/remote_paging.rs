@@ -93,7 +93,21 @@ impl RemotePaging {
         match self.store.store(local, host, self.entry(pfn), data.to_vec()) {
             Ok(()) => {
                 self.on_remote.insert(pfn, host);
-                self.on_disk.remove(&pfn);
+                if self.store.fabric().faults_installed() {
+                    // Under fault injection every remote page keeps a
+                    // disk copy (write-through), so a page-in whose
+                    // replicas are all unreachable degrades to disk
+                    // instead of failing the fault handler.
+                    self.disk.store(local, self.entry(pfn), data.to_vec());
+                    self.on_disk.insert(pfn);
+                    self.store
+                        .fabric()
+                        .metrics()
+                        .counter("swap.faults.writethrough")
+                        .inc();
+                } else {
+                    self.on_disk.remove(&pfn);
+                }
                 Ok(())
             }
             Err(_) => {
@@ -116,6 +130,15 @@ impl RemotePaging {
                     // Remote lost (node crash): fall through to disk copy
                     // if one exists; otherwise the page is gone.
                     self.on_remote.remove(&pfn);
+                    if self.store.fabric().faults_installed() && self.on_disk.contains(&pfn) {
+                        let fabric = self.store.fabric();
+                        fabric.metrics().counter("swap.faults.disk_degrade").inc();
+                        let now = fabric.clock().now();
+                        fabric
+                            .clock()
+                            .tracer()
+                            .record_async("swap", "degrade.disk", now, now, &[("pfn", pfn)]);
+                    }
                 }
             }
         }
@@ -314,6 +337,34 @@ mod tests {
         store_one(&mut b, 1, vec![1u8; 4096]).unwrap();
         failures.inject_now(FailureEvent::NodeDown(NodeId::new(1)));
         assert!(load_one(&mut b, 1).is_err(), "no disk copy: page lost");
+    }
+
+    #[test]
+    fn faults_mode_degrades_page_in_to_disk_instead_of_failing() {
+        use dmem_net::{FabricFaults, FaultProfile, RetryPolicy};
+        use dmem_sim::DetRng;
+
+        let (_, failures, store, disk) = cluster(2, 256);
+        // Installing the layer (even with a silent profile) switches the
+        // backend to write-through, the graceful-degradation contract.
+        store.fabric().install_faults(Arc::new(FabricFaults::new(
+            DetRng::new(0),
+            FaultProfile::none(),
+            RetryPolicy::default(),
+        )));
+        let mut b = NbdxBackend::new(server(), Arc::clone(&store), NodeId::new(1), disk);
+        store_one(&mut b, 1, vec![1u8; 4096]).unwrap();
+        assert_eq!(
+            store.fabric().metrics().counter("swap.faults.writethrough").get(),
+            1
+        );
+        failures.inject_now(FailureEvent::NodeDown(NodeId::new(1)));
+        // Same crash as above, but the page-in survives via the disk copy.
+        assert_eq!(load_one(&mut b, 1).unwrap(), vec![1u8; 4096]);
+        assert_eq!(
+            store.fabric().metrics().counter("swap.faults.disk_degrade").get(),
+            1
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 }
 
 fn usage() -> String {
-    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N] [--qos]"
+    "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N] \
+     [--qos] [--faults]"
         .to_string()
 }
 
@@ -39,12 +40,14 @@ fn run() -> Result<bool, String> {
     let mut seeds: Vec<u64> = Vec::new();
     let mut jobs = scoped_pool::available_parallelism();
     let mut qos = false;
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--seed" => seeds.push(parse_u64(&value("--seed")?)?),
             "--qos" => qos = true,
+            "--faults" => faults = true,
             "--jobs" => {
                 jobs = parse_u64(&value("--jobs")?)?.max(1) as usize;
             }
@@ -69,9 +72,14 @@ fn run() -> Result<bool, String> {
     if seeds.is_empty() {
         seeds.extend(0..8);
     }
+    // The schedule generator and the harness's fault layer switch on
+    // together: schedules gain partition/heal/QP-break steps, and the
+    // fabric gains seeded verb drops/delays/duplication with retry.
+    config.fabric_faults = faults;
 
     let settings = ChaosSettings {
         qos,
+        faults,
         ..ChaosSettings::default()
     };
     let total = seeds.len();
