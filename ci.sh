@@ -59,6 +59,38 @@ step "faults chaos smoke (seeds 0..32, determinism gate)" sh -c '
     diff target/chaos_faults_a.txt target/chaos_faults_b.txt
 '
 
+# Sharded-engine determinism gate, chaos side: the same 32-seed sweep
+# with the cluster split into 1 vs 4 host-groups (shard router armed)
+# must produce byte-identical stdout — the router observes every verb's
+# (virtual_time, shard, seq) mailbox key and panics on any misorder, but
+# must never steer a single decision.
+step "chaos shard determinism (--shards 1 vs 4, byte-diff)" sh -c '
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --shards 1 \
+        > target/chaos_shards_1.txt
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --shards 4 \
+        > target/chaos_shards_4.txt
+    diff target/chaos_shards_1.txt target/chaos_shards_4.txt
+'
+
+# Sharded-engine determinism gate, rack side: the rack-scale smoke must
+# be byte-identical at 1 vs 4 worker threads (same logical shards,
+# different parallelism) AND match the committed golden CSV.
+step "fig4_rack smoke determinism (workers 1 vs 4 + golden CSV)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin fig4_rack -- --smoke --shards 1 \
+        > target/fig4_rack_smoke_1.txt
+    cargo run --release --quiet -p dmem-bench --bin fig4_rack -- --smoke --shards 4 \
+        > target/fig4_rack_smoke_4.txt
+    diff target/fig4_rack_smoke_1.txt target/fig4_rack_smoke_4.txt
+    git diff --exit-code -- results/fig4_rack_smoke.csv
+'
+
+# Rack perf smoke: wall-clock at 1 vs 4 workers against the committed
+# baseline (3x tolerance). On a 4+ core machine the binary additionally
+# enforces the >= 2x parallel-speedup acceptance gate; on smaller
+# machines it prints a skip note and still checks the regression bound.
+step "fig4_rack perf smoke (speedup gate + 3x tolerance)" \
+    cargo run --release --quiet -p dmem-bench --bin fig4_rack -- --perf --check results/BENCH_rack_baseline.json
+
 # QoS isolation smoke: the reduced ext_qos sweep must be byte-identical
 # to the committed golden CSV (virtual-clock determinism) and its
 # built-in acceptance check must pass (high-priority p99 flat under QoS,

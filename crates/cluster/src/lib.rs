@@ -57,6 +57,6 @@ pub use eviction::{EvictionOutcome, PriorityResolver, RemoteSlabEvictor};
 pub use federation::{Federation, Lease};
 pub use group::{map_overhead_bytes, GroupTable};
 pub use membership::ClusterMembership;
-pub use placement::Placer;
+pub use placement::{spread_replicas, Placer};
 pub use remote::{RemoteStore, RemoteStoreStats};
 pub use replication::{ReplicaSet, Replicator};

@@ -7,7 +7,8 @@
 //! they produce.
 
 use crate::membership::ClusterMembership;
-use dmem_sim::DetRng;
+use dmem_sim::shard::{ShardId, ShardMap};
+use dmem_sim::{splitmix64, DetRng};
 use dmem_types::{DmemError, DmemResult, NodeId, PlacementStrategy};
 use parking_lot::Mutex;
 use std::fmt;
@@ -116,6 +117,68 @@ impl fmt::Debug for Placer {
     }
 }
 
+/// Hash-derived, shard-spreading replica placement for the rack model.
+///
+/// A pure function of `(page, hosts, map)` — no membership state, no
+/// shared RNG — so every shard computes the same replica set for a page
+/// without exchanging any message, which is what lets the sharded engine
+/// resolve placement locally. Replicas avoid the faulting host and, while
+/// possible, prefer hosts on *distinct shards*: a rack-level failure
+/// domain spread, and (incidentally) what makes replication traffic
+/// cross-shard and the mailbox path non-vacuous.
+///
+/// # Examples
+///
+/// ```
+/// use dmem_cluster::spread_replicas;
+/// use dmem_sim::shard::ShardMap;
+///
+/// let map = ShardMap::grouped(64, 4);
+/// let replicas = spread_replicas(0xfeed, 3, 64, 2, &map);
+/// assert_eq!(replicas.len(), 2);
+/// assert!(!replicas.contains(&3), "never places on the faulting host");
+/// // Two replicas, two distinct shards.
+/// assert_ne!(map.shard_of(replicas[0]), map.shard_of(replicas[1]));
+/// ```
+pub fn spread_replicas(
+    page: u64,
+    avoid_host: usize,
+    hosts: usize,
+    count: usize,
+    map: &ShardMap,
+) -> Vec<usize> {
+    assert!(hosts > 1, "need at least two hosts to place remotely");
+    let count = count.min(hosts - 1);
+    let mut picked: Vec<usize> = Vec::with_capacity(count);
+    let mut used_shards: Vec<ShardId> = vec![map.shard_of(avoid_host)];
+    // First pass requires an unused shard; once shards run out, any
+    // distinct host qualifies. Probing is derived from the page id only.
+    for pass in 0..2 {
+        let mut probe = 0u64;
+        while picked.len() < count {
+            let h = (splitmix64(page.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ probe) % hosts as u64)
+                as usize;
+            probe += 1;
+            if probe > 8 * hosts as u64 {
+                break; // give up this pass; the next one relaxes the rule
+            }
+            if h == avoid_host || picked.contains(&h) {
+                continue;
+            }
+            let shard = map.shard_of(h);
+            if pass == 0 && used_shards.contains(&shard) {
+                continue;
+            }
+            used_shards.push(shard);
+            picked.push(h);
+        }
+        if picked.len() == count {
+            break;
+        }
+    }
+    picked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +216,38 @@ mod tests {
                 assert_eq!(set.len(), 3, "{strategy}: duplicates in {picked:?}");
             }
         }
+    }
+
+    #[test]
+    fn spread_replicas_is_pure_distinct_and_shard_diverse() {
+        let map = ShardMap::grouped(64, 8);
+        for page in 0..500u64 {
+            let owner = (page % 64) as usize;
+            let a = spread_replicas(page, owner, 64, 2, &map);
+            assert_eq!(a, spread_replicas(page, owner, 64, 2, &map), "must be pure");
+            assert_eq!(a.len(), 2);
+            assert!(!a.contains(&owner));
+            assert_ne!(a[0], a[1]);
+            // 8 shards, 3 distinct hosts involved: all shards distinct.
+            let shards: HashSet<_> = a
+                .iter()
+                .map(|&h| map.shard_of(h))
+                .chain([map.shard_of(owner)])
+                .collect();
+            assert_eq!(shards.len(), 3, "page {page}: replicas must spread shards");
+        }
+    }
+
+    #[test]
+    fn spread_replicas_relaxes_when_shards_run_out() {
+        // 4 hosts on 2 shards, 3 replicas + owner = all hosts: the
+        // distinct-shard rule cannot hold, but placement must still fill.
+        let map = ShardMap::grouped(4, 2);
+        let picked = spread_replicas(1, 0, 4, 3, &map);
+        assert_eq!(picked.len(), 3);
+        let set: HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(!picked.contains(&0));
     }
 
     #[test]

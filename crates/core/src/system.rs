@@ -7,9 +7,10 @@ use dmem_cluster::{
     RemoteStore, Replicator,
 };
 use dmem_compress::{CompressMemo, CompressedPage, PageCodec};
-use dmem_net::Fabric;
+use dmem_net::{Fabric, ShardRouter};
 use dmem_node::NodeManager;
 use dmem_qos::{AdmitDecision, ControlAction, QosEngine, ResidentTier, Victim};
+use dmem_sim::shard::ShardMap;
 use dmem_sim::{
     CostModel, DetRng, FailureInjector, MetricsRegistry, SimClock, SimDuration,
 };
@@ -87,6 +88,10 @@ pub struct DisaggregatedMemory {
     /// atomic load per operation, so single-tenant runs stay byte- and
     /// cycle-identical to the pre-QoS system.
     qos: OnceLock<Arc<QosEngine>>,
+    /// Optional host→shard partition + fabric router. Uninstalled (the
+    /// default) the fabric skips routing entirely, so unsharded runs
+    /// stay byte-identical to builds that predate sharding.
+    sharding: OnceLock<Arc<ShardRouter>>,
 }
 
 impl DisaggregatedMemory {
@@ -161,6 +166,7 @@ impl DisaggregatedMemory {
             servers,
             metrics: MetricsRegistry::new(),
             qos: OnceLock::new(),
+            sharding: OnceLock::new(),
         })
     }
 
@@ -202,6 +208,32 @@ impl DisaggregatedMemory {
     /// The underlying RDMA fabric (for advanced wiring, e.g. batch senders).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
+    }
+
+    /// Partitions this cluster's nodes into `shards` contiguous
+    /// host-groups and installs the shard router on the fabric: from
+    /// then on every verb is checked against the inter-shard mailbox
+    /// ordering contract (`(virtual_time, shard_id, seq)` strictly
+    /// increasing per directed pair) and counted as cross- or
+    /// intra-shard. Placement, tiering and verb semantics are untouched
+    /// — the router is an observer, so sharded runs stay byte-identical
+    /// to unsharded ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sharding is already installed.
+    pub fn install_sharding(&self, shards: usize) {
+        let map = ShardMap::grouped(self.config.nodes, shards);
+        let router = Arc::new(ShardRouter::new(map));
+        self.fabric.install_shard_router(Arc::clone(&router));
+        if self.sharding.set(router).is_err() {
+            panic!("sharding already installed");
+        }
+    }
+
+    /// The installed shard router, if any.
+    pub fn shard_router(&self) -> Option<&Arc<ShardRouter>> {
+        self.sharding.get()
     }
 
     /// Installs the multi-tenant QoS control plane (quota admission,

@@ -51,5 +51,8 @@ pub mod faults;
 
 pub use batch::BatchSender;
 pub use cm::{ChannelKind, ConnectionManager};
-pub use fabric::{Completion, CompletionKind, Fabric, QpHandle, RegionHandle};
-pub use faults::{FabricFault, FabricFaults, FaultProfile, RetryPolicy, VerbOutcome};
+pub use fabric::{Completion, CompletionKind, Fabric, QpHandle, RegionHandle, ShardRouter};
+pub use faults::{
+    FabricFault, FabricFaults, FaultProfile, HostOutage, RetryPolicy, ShardFaultSchedule,
+    VerbOutcome,
+};

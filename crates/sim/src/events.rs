@@ -84,6 +84,22 @@ impl<T> EventQueue<T> {
         due
     }
 
+    /// Removes and returns the single earliest event strictly before
+    /// `end`, if any — the epoch-window variant of [`pop_due`]
+    /// (exclusive bound, one event at a time so handlers can schedule
+    /// further events inside the same window and still see them pop in
+    /// time order).
+    ///
+    /// [`pop_due`]: EventQueue::pop_due
+    pub fn pop_before(&mut self, end: SimInstant) -> Option<(SimInstant, T)> {
+        let Reverse(head) = self.heap.peek()?;
+        if head.at >= end {
+            return None;
+        }
+        let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+        Some((entry.at, entry.payload))
+    }
+
     /// The time of the next scheduled event, if any.
     pub fn next_at(&self) -> Option<SimInstant> {
         self.heap.peek().map(|Reverse(e)| e.at)
@@ -153,6 +169,20 @@ mod tests {
         assert!(q.pop_due(SimInstant::from_nanos(49)).is_empty());
         assert_eq!(q.len(), 1);
         assert_eq!(q.next_at(), Some(SimInstant::from_nanos(50)));
+    }
+
+    #[test]
+    fn pop_before_is_exclusive_and_single() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_nanos(10), "a");
+        q.schedule(SimInstant::from_nanos(10), "b");
+        q.schedule(SimInstant::from_nanos(20), "c");
+        // Exclusive bound: an event at exactly `end` stays queued.
+        assert_eq!(q.pop_before(SimInstant::from_nanos(10)), None);
+        assert_eq!(q.pop_before(SimInstant::from_nanos(11)), Some((SimInstant::from_nanos(10), "a")));
+        assert_eq!(q.pop_before(SimInstant::from_nanos(11)), Some((SimInstant::from_nanos(10), "b")));
+        assert_eq!(q.pop_before(SimInstant::from_nanos(11)), None);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

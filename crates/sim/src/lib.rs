@@ -45,15 +45,23 @@ pub mod failure;
 pub mod jsonlite;
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
 pub use chaos::{ChaosConfig, ChaosSchedule, ChaosStep};
-pub use clock::SimClock;
+pub use clock::{ShardClock, SimClock};
 pub use cost::{CostModel, DeviceCost};
 pub use events::EventQueue;
 pub use failure::{FailureEvent, FailureInjector};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
-pub use rng::DetRng;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, LocalMetrics, MetricsRegistry};
+pub use rng::{splitmix64, DetRng};
+pub use shard::{
+    merge_envelopes, shard_rng, EngineReport, Envelope, EpochCtx, ShardId, ShardMap, ShardWorker,
+    ShardedEngine,
+};
 pub use time::{SimDuration, SimInstant};
-pub use trace::{Attribution, AttributionRow, SpanGuard, SpanKind, SpanRecord, Trace, Tracer};
+pub use trace::{
+    Attribution, AttributionRow, ShardEventLog, ShardTraceEvent, SpanGuard, SpanKind, SpanRecord,
+    Trace, Tracer,
+};

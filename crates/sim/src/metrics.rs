@@ -119,6 +119,18 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Folds externally accumulated bucket counts (and their value sum)
+    /// into this histogram — the bulk path used when per-shard
+    /// [`LocalMetrics`] buffers publish into the shared registry.
+    pub fn merge_counts(&self, counts: &[u64; 65], sum: u64) {
+        for (bucket, &n) in self.buckets.iter().zip(counts) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.buckets
@@ -341,6 +353,143 @@ impl fmt::Display for MetricsRegistry {
     }
 }
 
+/// An unsynchronized per-shard metrics buffer.
+///
+/// Shards of the sharded engine record into a private `LocalMetrics`
+/// (plain integer adds, no atomics, no locks) and the coordinator merges
+/// the buffers in shard order after the run — so the published totals,
+/// like everything else in the engine, are independent of the worker
+/// count. Name iteration is `BTreeMap`-ordered, hence deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dmem_sim::LocalMetrics;
+///
+/// let mut a = LocalMetrics::new();
+/// a.add("reads", 2);
+/// a.record("lat_ns", 4096);
+/// let mut b = LocalMetrics::new();
+/// b.add("reads", 3);
+/// b.merge_from(&a);
+/// assert_eq!(b.counter("reads"), 5);
+/// assert_eq!(b.quantile("lat_ns", 0.5), 4096);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LocalMetrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LocalHistogram>,
+}
+
+#[derive(Debug, Clone)]
+struct LocalHistogram {
+    buckets: Box<[u64; 65]>,
+    sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            buckets: Box::new([0; 65]),
+            sum: 0,
+        }
+    }
+}
+
+impl LocalMetrics {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        LocalMetrics::default()
+    }
+
+    /// Adds `n` to the counter named `name`, creating it on first use.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Adds one to the counter named `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records one observation into the histogram named `name`, using
+    /// the same bucket edges as the shared [`Histogram`].
+    pub fn record(&mut self, name: &str, value: u64) {
+        let h = self.histograms.entry(name.to_owned()).or_default();
+        h.buckets[Histogram::bucket_index(value)] += 1;
+        h.sum += value;
+    }
+
+    /// Current value of the counter named `name` (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Observation count of the histogram named `name` (zero if absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms
+            .get(name)
+            .map(|h| h.buckets.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// Quantile of the histogram named `name`, with [`Histogram`]'s
+    /// bucket-upper-bound semantics; zero if absent or empty.
+    pub fn quantile(&self, name: &str, q: f64) -> u64 {
+        self.histograms
+            .get(name)
+            .map(|h| Histogram::quantile_of_counts(&h.buckets, q))
+            .unwrap_or(0)
+    }
+
+    /// Mean of the histogram named `name`; zero if absent or empty.
+    pub fn histogram_mean(&self, name: &str) -> f64 {
+        let count = self.histogram_count(name);
+        if count == 0 {
+            return 0.0;
+        }
+        self.histograms[name].sum as f64 / count as f64
+    }
+
+    /// Folds `other` into this buffer. Merging is commutative and
+    /// associative, so any deterministic merge order yields the same
+    /// totals.
+    pub fn merge_from(&mut self, other: &LocalMetrics) {
+        for (name, &n) in &other.counters {
+            self.add(name, n);
+        }
+        for (name, theirs) in &other.histograms {
+            let ours = self.histograms.entry(name.clone()).or_default();
+            for (a, b) in ours.buckets.iter_mut().zip(theirs.buckets.iter()) {
+                *a += b;
+            }
+            ours.sum += theirs.sum;
+        }
+    }
+
+    /// Publishes the buffered values into a shared registry: counters
+    /// add their totals, histograms bulk-merge their buckets.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        for (name, &n) in &self.counters {
+            if n > 0 {
+                registry.counter(name).add(n);
+            }
+        }
+        for (name, h) in &self.histograms {
+            registry.histogram(name).merge_counts(&h.buckets, h.sum);
+        }
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +502,49 @@ mod tests {
         c.inc();
         c2.add(4);
         assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn local_metrics_match_shared_semantics() {
+        // Recording the same values through a LocalMetrics buffer and
+        // publishing must be indistinguishable from recording directly.
+        let shared = MetricsRegistry::new();
+        let mut local = LocalMetrics::new();
+        let direct = MetricsRegistry::new();
+        for v in [1u64, 7, 100, 1024, 1 << 40] {
+            local.record("lat", v);
+            direct.histogram("lat").record(v);
+            local.inc("ops");
+            direct.counter("ops").inc();
+        }
+        local.publish(&shared);
+        assert_eq!(shared.counter_snapshot(), direct.counter_snapshot());
+        let (a, b) = (shared.histogram("lat"), direct.histogram("lat"));
+        assert_eq!(a.bucket_counts(), b.bucket_counts());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn local_metrics_merge_is_order_independent() {
+        let mut a = LocalMetrics::new();
+        let mut b = LocalMetrics::new();
+        a.add("x", 2);
+        a.record("h", 3);
+        b.add("x", 5);
+        b.add("y", 1);
+        b.record("h", 4000);
+        let mut ab = LocalMetrics::new();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let mut ba = LocalMetrics::new();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab.counter_snapshot(), ba.counter_snapshot());
+        assert_eq!(ab.counter("x"), 7);
+        assert_eq!(ab.histogram_count("h"), 2);
+        assert_eq!(ab.quantile("h", 1.0), ba.quantile("h", 1.0));
+        assert!(ab.histogram_mean("h") > 0.0);
     }
 
     #[test]

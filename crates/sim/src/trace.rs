@@ -283,6 +283,112 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// One sampled event in a shard's trace buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardTraceEvent {
+    /// Virtual time of the event, in nanoseconds.
+    pub at_ns: u64,
+    /// Per-shard event sequence number (set by the log).
+    pub seq: u64,
+    /// Event kind, a static label such as `"read.miss"`.
+    pub kind: &'static str,
+    /// The host the event concerns.
+    pub host: u64,
+    /// Kind-specific detail (a page id, a latency, a peer host).
+    pub detail: u64,
+}
+
+/// A per-shard append-only trace buffer for the sharded engine.
+///
+/// The shared [`Tracer`] hangs off the atomic [`SimClock`], which shards
+/// do not use; instead each shard samples events into its own
+/// `ShardEventLog` (plain pushes, no locks) and the coordinator merges
+/// the logs under the same `(time, shard, seq)` order as the mailboxes —
+/// so the exported trace, like every other output, is byte-identical at
+/// every worker count.
+///
+/// Sampling keeps rack-scale runs bounded: `sample_every = n` keeps one
+/// event in `n` (deterministically, by per-shard event count);
+/// `sample_every = 1` keeps everything, `0` disables the log.
+///
+/// [`SimClock`]: crate::SimClock
+#[derive(Debug, Clone, Default)]
+pub struct ShardEventLog {
+    shard: u32,
+    sample_every: u64,
+    seen: u64,
+    events: Vec<ShardTraceEvent>,
+}
+
+impl ShardEventLog {
+    /// Creates a log for `shard` keeping one event in `sample_every`.
+    pub fn new(shard: u32, sample_every: u64) -> Self {
+        ShardEventLog {
+            shard,
+            sample_every,
+            seen: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The shard this log belongs to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Number of events kept (after sampling).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were kept.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Offers one event to the log; it is kept if it falls on the
+    /// sampling grid. `seq` is the shard-local offer count, so merged
+    /// output is stable however the run was parallelised.
+    pub fn push(&mut self, at_ns: u64, kind: &'static str, host: u64, detail: u64) {
+        let seq = self.seen;
+        self.seen += 1;
+        if self.sample_every == 0 || seq % self.sample_every != 0 {
+            return;
+        }
+        self.events.push(ShardTraceEvent {
+            at_ns,
+            seq,
+            kind,
+            host,
+            detail,
+        });
+    }
+
+    /// Merges per-shard logs into one JSONL export, one JSON object per
+    /// event, ordered by `(at_ns, shard, seq)` — the mailbox merge key.
+    pub fn merge_to_jsonl(logs: &[ShardEventLog]) -> String {
+        let mut rows: Vec<(u64, u32, u64, &ShardTraceEvent)> = logs
+            .iter()
+            .flat_map(|log| {
+                log.events
+                    .iter()
+                    .map(move |e| (e.at_ns, log.shard, e.seq, e))
+            })
+            .collect();
+        rows.sort_by_key(|&(at, shard, seq, _)| (at, shard, seq));
+        let mut out = String::new();
+        for (at, shard, seq, e) in rows {
+            out.push_str(&format!(
+                "{{\"at_ns\":{at},\"shard\":{shard},\"seq\":{seq},\"kind\":\"{}\",\"host\":{},\"detail\":{}}}\n",
+                json_escape(e.kind),
+                e.host,
+                e.detail,
+            ));
+        }
+        out
+    }
+}
+
 impl Trace {
     /// The distinct categories present, sorted.
     pub fn categories(&self) -> Vec<&'static str> {
@@ -597,6 +703,36 @@ mod tests {
         let attribution = trace.attribution(total);
         assert_eq!(attribution.category_ns("net"), 0);
         assert_eq!(attribution.untraced_ns, 1_000);
+    }
+
+    #[test]
+    fn shard_event_log_merges_on_mailbox_order() {
+        let mut a = ShardEventLog::new(0, 1);
+        let mut b = ShardEventLog::new(1, 1);
+        a.push(20, "read", 1, 100);
+        a.push(10, "read", 2, 200);
+        b.push(10, "write", 3, 300);
+        let merged = ShardEventLog::merge_to_jsonl(&[a.clone(), b.clone()]);
+        let lines: Vec<&str> = merged.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Tie at 10ns: shard 0 before shard 1; then 20ns.
+        assert!(lines[0].contains("\"shard\":0") && lines[0].contains("\"at_ns\":10"));
+        assert!(lines[1].contains("\"shard\":1") && lines[1].contains("\"at_ns\":10"));
+        assert!(lines[2].contains("\"at_ns\":20"));
+        // Merge order of the input slice is irrelevant.
+        assert_eq!(merged, ShardEventLog::merge_to_jsonl(&[b, a]));
+    }
+
+    #[test]
+    fn shard_event_log_samples_deterministically() {
+        let mut log = ShardEventLog::new(2, 4);
+        for i in 0..16 {
+            log.push(i, "e", i, 0);
+        }
+        assert_eq!(log.len(), 4, "one in four kept");
+        let off = ShardEventLog::new(0, 0);
+        assert!(off.is_empty());
+        assert_eq!(log.shard(), 2);
     }
 
     #[test]

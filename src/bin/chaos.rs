@@ -31,7 +31,7 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 
 fn usage() -> String {
     "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N] \
-     [--qos] [--faults]"
+     [--qos] [--faults] [--shards N]"
         .to_string()
 }
 
@@ -41,6 +41,7 @@ fn run() -> Result<bool, String> {
     let mut jobs = scoped_pool::available_parallelism();
     let mut qos = false;
     let mut faults = false;
+    let mut shards = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -50,6 +51,12 @@ fn run() -> Result<bool, String> {
             "--faults" => faults = true,
             "--jobs" => {
                 jobs = parse_u64(&value("--jobs")?)?.max(1) as usize;
+            }
+            // Host-group count for the shard-router conformance layer.
+            // Purely observational: stdout is byte-identical at every
+            // value (the determinism gate in ci.sh diffs 1 vs 4).
+            "--shards" => {
+                shards = parse_u64(&value("--shards")?)?.max(1) as usize;
             }
             "--seeds" => {
                 let spec = value("--seeds")?;
@@ -80,6 +87,7 @@ fn run() -> Result<bool, String> {
     let settings = ChaosSettings {
         qos,
         faults,
+        shards,
         ..ChaosSettings::default()
     };
     let total = seeds.len();

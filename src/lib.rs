@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod rack;
 
 pub use dmem_cluster as cluster;
 pub use dmem_compress as compress;

@@ -323,3 +323,71 @@ fn attribution_identity_holds_under_fault_injection() {
     );
     assert!(attribution.category_ns("net") > 0, "verb spans still attributed");
 }
+
+/// PR 6: the fault sweep with the shard-router conformance layer
+/// watching every verb. Retried, failed-over, and duplicated traffic is
+/// the adversarial input for the mailbox-order invariant — the router
+/// panics (→ NoPanic violation) if any directed shard pair ever sees a
+/// non-increasing `(virtual_time, seq)` key. Both fault-mode invariants
+/// (reads never wrong or stale, suspects resolved at quiescence) must
+/// hold, and every counter must match the unsharded run exactly.
+#[test]
+fn sharded_fault_sweep_holds_invariants_and_byte_identity() {
+    let config = faults_config();
+    let plain = faults_settings();
+    let sharded = ChaosSettings {
+        shards: 4,
+        ..faults_settings()
+    };
+    let mut cross = 0u64;
+    for seed in 0..8u64 {
+        let a = run_seed(seed, &config, &plain)
+            .unwrap_or_else(|r| panic!("seed {seed} failed unsharded:\n{r}"));
+        let b = run_seed(seed, &config, &sharded)
+            .unwrap_or_else(|r| panic!("seed {seed} failed at shards=4:\n{r}"));
+        // Identity: the router observes, never steers.
+        assert_eq!(a.metrics_digest, b.metrics_digest, "seed {seed}: digest diverged");
+        assert_eq!(a.fault_retries, b.fault_retries, "seed {seed}");
+        assert_eq!(a.failover_reads, b.failover_reads, "seed {seed}");
+        assert_eq!(a.suspects_marked, b.suspects_marked, "seed {seed}");
+        assert_eq!(a.verified_reads, b.verified_reads, "seed {seed}");
+        assert!(b.cross_shard_verbs > 0, "seed {seed}: vacuous — no cross-shard verbs");
+        cross += b.cross_shard_verbs;
+    }
+    assert!(cross > 1_000, "too little cross-shard fault traffic: {cross}");
+}
+
+/// PR 6 × PR 3: with the cluster partitioned into shard groups, latency
+/// attribution still accounts for every nanosecond — the router adds no
+/// spans and never advances the virtual clock, so telemetry identities
+/// survive sharding.
+#[test]
+fn sharded_cluster_keeps_attribution_identity() {
+    use memory_disaggregation::chaos::{chaos_cluster, ChaosSettings};
+    use memory_disaggregation::core::DisaggregatedMemory;
+    use memory_disaggregation::sim::chaos::ChaosConfig as SimChaosConfig;
+
+    let cluster = chaos_cluster(&SimChaosConfig::default(), 9, &ChaosSettings::default());
+    let dm = DisaggregatedMemory::new(cluster).expect("cluster config validates");
+    dm.install_sharding(4);
+    dm.clock().tracer().enable();
+    let servers = dm.servers().to_vec();
+    for key in 0..48u64 {
+        let server = servers[key as usize % servers.len()];
+        dm.put(server, key, vec![0xA5; 8 * 1024]).expect("put on healthy cluster");
+        assert_eq!(dm.get(server, key).expect("get back"), vec![0xA5; 8 * 1024]);
+    }
+    let total = dm.clock().elapsed_since(memory_disaggregation::sim::SimInstant::from_nanos(0));
+    let trace = dm.clock().tracer().finish();
+    let attribution = trace.attribution(total);
+    assert_eq!(
+        attribution.accounted_ns(),
+        total.as_nanos(),
+        "attribution identity must hold with shards > 1"
+    );
+    let router = dm.shard_router().expect("router installed");
+    assert!(
+        router.cross_delivered() > 0,
+        "8 KiB puts on a 256 KiB-slab cluster must cross shard boundaries"
+    );
+}
