@@ -100,6 +100,37 @@ step "ext_qos smoke (golden CSV)" sh -c '
     git diff --exit-code -- results/ext_qos_smoke.csv
 '
 
+# KV-cache smoke: reduced hot-set sweep, byte-diffed against the golden
+# CSV; the binary also self-asserts the overflow-tier speedup (>= 5x at
+# the smallest hot set) and exits nonzero if it regresses.
+step "ext_kv_cache smoke (golden CSV)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin ext_kv_cache -- --smoke > /dev/null
+    git diff --exit-code -- results/ext_kv_cache_smoke.csv
+'
+
+# LLM serving smoke: the reduced conversation-stream sweep must be
+# byte-identical to the committed golden CSV (virtual-clock determinism)
+# and its built-in acceptance check must pass (tiered p99 TTFT >= 5x
+# better than the disk-offload baseline at the largest session count).
+step "ext_llm_serving smoke (golden CSV)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin ext_llm_serving -- --smoke > /dev/null
+    git diff --exit-code -- results/ext_llm_serving_smoke.csv
+'
+
+# LLM serving perf smoke: wall-clock of the three engines against the
+# committed baseline with the same gross 3x tolerance as perf.rs.
+step "ext_llm_serving perf smoke (3x tolerance)" \
+    cargo run --release --quiet -p dmem-bench --bin ext_llm_serving -- --perf --check results/BENCH_llm_baseline.json
+
+# dmem_top --kv: the tiered-KV occupancy report is pinned byte-for-byte
+# by the dmem_top_kv_golden test; regenerate the fixture here so drift
+# shows up as a git diff in CI logs too.
+step "dmem_top --kv (golden report)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin dmem_top -- --kv \
+        > results/dmem_top_kv.txt
+    git diff --exit-code -- results/dmem_top_kv.txt
+'
+
 # Traced fig4: one telemetry-enabled pass exporting a Chrome-trace JSON,
 # then validate the artifact (parses, trace-event shaped, spans from >= 4
 # simulation layers). Guards the zero-cost-when-disabled contract's other

@@ -18,17 +18,26 @@
 //! digest. Without the flag the report is byte-identical to the plain
 //! tool.
 //!
+//! `--kv` instead reports on the tiered LLM KV-cache engine: it serves
+//! a deterministic conversation stream through `TieredKvEngine` and
+//! prints per-tier KV occupancy (conversations and bytes in local,
+//! remote and disk, plus the prefix cache), serving counters, the
+//! prefix-hit rate and the demotion digest. Byte-identical across
+//! machines and reruns; pinned by `results/dmem_top_kv.txt`.
+//!
 //! `--check-trace FILE` instead validates a previously exported
 //! Chrome-trace JSON: it must parse, be shaped like the trace-event
 //! format, and contain spans from at least four simulation layers. Used
 //! by `ci.sh` to gate the traced fig4 artifact. Exits nonzero on failure.
 
 use dmem_bench::TelemetryArgs;
+use dmem_core::DisaggregatedMemory;
+use dmem_kv::{LlmCostModel, SpillPolicy, TieredKvConfig, TieredKvEngine};
 use dmem_qos::{QosConfig, QosEngine, TenantSpec};
 use dmem_sim::{jsonlite, SimDuration};
 use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
 use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
-use dmem_workloads::{catalog, TraceConfig};
+use dmem_workloads::{catalog, ConversationConfig, ConversationStream, TraceConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -164,6 +173,113 @@ fn run_report(telemetry: &TelemetryArgs, qos: bool) -> String {
     out
 }
 
+/// The `--kv` report: a fixed tiered-serving scenario, then per-tier
+/// occupancy and prefix-reuse telemetry — `top` for conversation KV state.
+fn run_kv_report() -> String {
+    let config = dmem_types::ClusterConfig::small();
+    let dm = std::sync::Arc::new(DisaggregatedMemory::new(config).unwrap());
+    let servers = dm.servers();
+    let (rookie, veteran) = (servers[0], servers[1]);
+    let mut engine = TieredKvEngine::with_servers(
+        dm.clone(),
+        rookie,
+        veteran,
+        TieredKvConfig {
+            local_capacity: ByteSize::from_kib(512),
+            remote_capacity: ByteSize::from_mib(4),
+            prefix_cache_capacity: ByteSize::from_kib(320),
+            spill: SpillPolicy::RemoteThenDisk,
+            long_running_turns: 3,
+            cost: LlmCostModel {
+                kv_bytes_per_token: 64,
+                ..LlmCostModel::default()
+            },
+        },
+    );
+
+    const TURNS: usize = 400;
+    let conv_config = ConversationConfig::default();
+    let max_turns = conv_config.max_turns;
+    let stream = ConversationStream::new(conv_config, 11);
+    for event in stream.take(TURNS) {
+        engine
+            .begin_turn(
+                event.session,
+                event.turn,
+                event.prefix_id,
+                event.context_tokens,
+                event.prompt_tokens,
+            )
+            .unwrap();
+        engine
+            .end_turn(event.session, event.prompt_tokens + event.output_tokens)
+            .unwrap();
+        if event.turn + 1 >= max_turns {
+            engine.retire(event.session);
+        }
+    }
+
+    let stats = engine.stats();
+    let occ = engine.occupancy();
+    let mut out = String::new();
+    writeln!(out, "dmem-top — tiered KV serving (virtual time)").unwrap();
+    writeln!(
+        out,
+        "run: conversation stream seed 11, {TURNS} turns, local 512 KiB, remote 4 MiB"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "turns: {}   conversations: {}   retired: {}",
+        stats.turns,
+        stats.conversations,
+        stats.conversations as usize
+            - (occ.local_convs + occ.remote_convs + occ.disk_convs)
+    )
+    .unwrap();
+
+    writeln!(out, "
+kv tiers (occupancy):").unwrap();
+    let row = |out: &mut String, tier: &str, convs: usize, bytes: u64| {
+        writeln!(out, "  {tier:>8}  {convs:>5} convs  {:>12}", ByteSize::new(bytes).to_string())
+            .unwrap();
+    };
+    row(&mut out, "local", occ.local_convs, occ.local_bytes);
+    row(&mut out, "remote", occ.remote_convs, occ.remote_bytes);
+    row(&mut out, "disk", occ.disk_convs, occ.disk_bytes);
+    writeln!(
+        out,
+        "  {:>8}  {:>5} cached {:>12}",
+        "prefixes",
+        occ.prefix_entries,
+        ByteSize::new(occ.prefix_bytes).to_string()
+    )
+    .unwrap();
+
+    writeln!(out, "
+kv serving:").unwrap();
+    writeln!(out, "  local hits        {:>6}", stats.local_hits).unwrap();
+    writeln!(out, "  remote fetches    {:>6}", stats.remote_fetches).unwrap();
+    writeln!(out, "  disk fetches      {:>6}", stats.disk_fetches).unwrap();
+    writeln!(out, "  recomputes        {:>6}", stats.recomputes).unwrap();
+    writeln!(out, "  demote -> remote  {:>6}", stats.demote_to_remote).unwrap();
+    writeln!(out, "  demote -> disk    {:>6}", stats.demote_to_disk).unwrap();
+    writeln!(
+        out,
+        "  prefix hit rate   {:>6}  ({} hits / {} misses, {} evicted)",
+        format!("{:.1}%", stats.prefix_hit_rate() * 100.0),
+        stats.prefix_hits,
+        stats.prefix_misses,
+        stats.prefix_evictions
+    )
+    .unwrap();
+    writeln!(out, "kv demotions: {}", engine.demotion_digest()).unwrap();
+
+    writeln!(out, "
+{}", dm.metrics()).unwrap();
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--check-trace") {
@@ -183,8 +299,13 @@ fn main() -> ExitCode {
         };
     }
     let qos = args.iter().any(|a| a == "--qos");
+    let kv = args.iter().any(|a| a == "--kv");
     let telemetry = TelemetryArgs::parse(args.into_iter());
-    let report = run_report(&telemetry, qos);
+    let report = if kv {
+        run_kv_report()
+    } else {
+        run_report(&telemetry, qos)
+    };
     print!("{report}");
     telemetry.write_metrics(&report);
     ExitCode::SUCCESS

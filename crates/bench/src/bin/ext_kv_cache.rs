@@ -6,6 +6,11 @@
 //! zipf-skewed read stream against both designs at several hot-set sizes.
 //!
 //! Run with: `cargo run --release -p dmem-bench --bin ext_kv_cache`
+//! (`--smoke` runs a reduced, CI-sized sweep and writes
+//! `results/ext_kv_cache_smoke.csv` instead). Both modes self-assert the
+//! acceptance bound — the disaggregated overflow tier must beat the
+//! drop-cold design by >= 5x at the smallest hot set — and exit nonzero
+//! on failure.
 
 use dmem_bench::{par_map, Table};
 use dmem_core::DisaggregatedMemory;
@@ -13,31 +18,52 @@ use dmem_kv::KvCache;
 use dmem_sim::{CostModel, DetRng, SimDuration};
 use dmem_types::{ByteSize, ClusterConfig};
 use dmem_workloads::ZipfSampler;
+use std::process::ExitCode;
 use std::sync::Arc;
 
-const KEYS: usize = 2_000;
 const VALUE: usize = 1024;
-const OPS: usize = 10_000;
+
+/// Sweep dimensions; `--smoke` shrinks them for the CI golden check.
+struct Scale {
+    keys: usize,
+    ops: usize,
+    hot_sizes: &'static [u64],
+    csv_name: &'static str,
+}
+
+const FULL: Scale = Scale {
+    keys: 2_000,
+    ops: 10_000,
+    hot_sizes: &[64, 128, 256, 512],
+    csv_name: "ext_kv_cache",
+};
+
+const SMOKE: Scale = Scale {
+    keys: 600,
+    ops: 2_000,
+    hot_sizes: &[64, 256],
+    csv_name: "ext_kv_cache_smoke",
+};
 
 /// Runs the read stream; `drop_cold` models a conventional cache that
 /// discards evicted entries — any read not served by the hot set pays a
 /// backing-database fetch.
-fn run(hot_kib: u64, drop_cold: bool) -> (f64, f64) {
+fn run(hot_kib: u64, drop_cold: bool, keys: usize, ops: usize) -> (f64, f64) {
     let dm = Arc::new(DisaggregatedMemory::new(ClusterConfig::small()).unwrap());
     let server = dm.servers()[0];
     let clock = dm.clock().clone();
     let mut cache = KvCache::new(Arc::clone(&dm), server, ByteSize::from_kib(hot_kib));
-    for key in 0..KEYS {
+    for key in 0..keys {
         cache
             .set(&format!("object:{key}"), vec![key as u8; VALUE])
             .unwrap();
     }
-    let zipf = ZipfSampler::new(KEYS, 0.99);
+    let zipf = ZipfSampler::new(keys, 0.99);
     let mut rng = DetRng::new(7);
     let backing_fetch = SimDuration::from_millis(1); // database round trip
     let mut misses = 0u64;
     let t0 = clock.now();
-    for _ in 0..OPS {
+    for _ in 0..ops {
         let key = format!("object:{}", zipf.sample(&mut rng));
         if drop_cold {
             // Only hot-set hits count; anything else is a database fetch.
@@ -55,26 +81,32 @@ fn run(hot_kib: u64, drop_cold: bool) -> (f64, f64) {
     }
     let elapsed = clock.now() - t0;
     (
-        OPS as f64 / elapsed.as_secs_f64(),
-        misses as f64 / OPS as f64,
+        ops as f64 / elapsed.as_secs_f64(),
+        misses as f64 / ops as f64,
     )
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
     let _ = CostModel::paper_default();
     let mut table = Table::new(
         "Extension — KV cache: drop-cold vs disaggregated-memory overflow (zipf reads)",
         &["hot set", "drop-cold ops/s", "drop-cold DB fetches", "disaggregated ops/s", "disaggregated DB fetches", "speedup"],
     );
-    let hot_sizes = [64u64, 128, 256, 512];
-    let results = par_map(hot_sizes.to_vec(), |_, hot_kib| {
-        (run(hot_kib, true), run(hot_kib, false))
+    let results = par_map(scale.hot_sizes.to_vec(), |_, hot_kib| {
+        (
+            run(hot_kib, true, scale.keys, scale.ops),
+            run(hot_kib, false, scale.keys, scale.ops),
+        )
     });
+    let mut speedups = Vec::new();
     for (hot_kib, ((drop_tput, drop_miss), (dm_tput, dm_miss))) in
-        hot_sizes.into_iter().zip(results)
+        scale.hot_sizes.iter().zip(results)
     {
+        speedups.push(dm_tput / drop_tput);
         table.row([
-            ByteSize::from_kib(hot_kib).to_string(),
+            ByteSize::from_kib(*hot_kib).to_string(),
             format!("{drop_tput:.0}"),
             format!("{:.1}%", drop_miss * 100.0),
             format!("{dm_tput:.0}"),
@@ -82,8 +114,22 @@ fn main() {
             format!("{:.1}x", dm_tput / drop_tput),
         ]);
     }
-    table.emit("ext_kv_cache");
+    table.emit(scale.csv_name);
     println!("\nReading: the smaller the hot set, the more a conventional cache pays the");
     println!("backing database for cold keys; the disaggregated overflow tier turns those");
     println!("misses into microsecond fetches — the §III killer-app argument.");
+
+    // Acceptance, enforced so CI fails loudly if the overflow tier stops
+    // paying off: at the smallest (most overflow-bound) hot set the
+    // disaggregated design must beat drop-cold by a wide margin.
+    if speedups[0] >= 5.0 {
+        println!("kv cache: PASS ({:.1}x at the smallest hot set)", speedups[0]);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "kv cache: FAIL ({:.1}x at the smallest hot set, need >= 5x)",
+            speedups[0]
+        );
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,47 @@
+//! Golden-file test for `dmem_top --kv` (ISSUE 7, tiered KV serving).
+//!
+//! The per-tier KV occupancy report — tier rows, serving counters, the
+//! prefix-hit rate and the demotion digest — runs entirely on the
+//! virtual clock, so its output is byte-identical across machines,
+//! build profiles and reruns. This test pins the whole report against a
+//! committed fixture; any intentional change must regenerate it:
+//!
+//! ```sh
+//! cargo run --release -q -p dmem-bench --bin dmem_top -- --kv \
+//!     > results/dmem_top_kv.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn kv_report_matches_committed_fixture() {
+    let fixture_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/dmem_top_kv.txt");
+    let expected = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture_path.display()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_dmem_top"))
+        .arg("--kv")
+        .output()
+        .expect("run dmem_top --kv");
+    assert!(
+        output.status.success(),
+        "dmem_top --kv exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = String::from_utf8(output.stdout).expect("report is UTF-8");
+
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "report diverges from fixture at line {}", i + 1);
+        }
+        panic!(
+            "report and fixture differ in length: {} vs {} bytes \
+             (regenerate results/dmem_top_kv.txt if the change is intended)",
+            actual.len(),
+            expected.len()
+        );
+    }
+}

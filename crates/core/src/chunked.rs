@@ -108,6 +108,149 @@ pub fn load_chunked(
     Ok(framed)
 }
 
+/// Upper bound on chunks per [`store_chunked_many`] window.
+///
+/// A batched put stores the whole window under one replica set, so a
+/// window must stay small enough for a single replica group to host it;
+/// oversized windows would trip the wholesale disk fallback and defeat
+/// the point of coalescing.
+pub const STORE_WINDOW_CHUNKS: usize = 32;
+
+/// Stores several values in coalesced batches: all chunks of all values
+/// are gathered into windows of at most [`STORE_WINDOW_CHUNKS`] pages and
+/// each window moves in **one** `put_batch` — one replica handshake and
+/// one batched fabric write per window instead of one per value. This is
+/// the chunked-storage analogue of core `get_batch`'s per-host verb
+/// coalescing, and the data path behind [`KvCache`] demotion bursts and
+/// the tiered KV engine's conversation spills.
+///
+/// Bases must be distinct; values follow [`store_chunked`] framing, so
+/// the two stores are interchangeable per key.
+///
+/// # Errors
+///
+/// Returns [`DmemError::InvalidConfig`] when any value exceeds the
+/// chunked capacity, and propagates tier errors.
+///
+/// [`KvCache`]: https://docs.rs/dmem-kv
+pub fn store_chunked_many(
+    dm: &DisaggregatedMemory,
+    server: ServerId,
+    items: &[(u64, &[u8])],
+    pref: TierPreference,
+) -> DmemResult<()> {
+    // Validate sizes up front so no window lands before the error.
+    for (_, data) in items {
+        let chunks = (data.len() + 8).div_ceil(PAGE_SIZE) as u64;
+        if chunks >= MAX_CHUNKS {
+            return Err(DmemError::InvalidConfig {
+                reason: format!(
+                    "value of {} bytes exceeds chunked capacity ({} chunks max)",
+                    data.len(),
+                    MAX_CHUNKS
+                ),
+            });
+        }
+    }
+    let mut window: Vec<(u64, Vec<u8>)> = Vec::with_capacity(STORE_WINDOW_CHUNKS);
+    for (base, data) in items {
+        let mut framed = Vec::with_capacity(8 + data.len());
+        framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        framed.extend_from_slice(data);
+        let chunks = framed.len().div_ceil(PAGE_SIZE) as u64;
+        for (i, c) in framed.chunks(PAGE_SIZE).enumerate() {
+            window.push((chunk_key(*base, i as u64), c.to_vec()));
+            if window.len() >= STORE_WINDOW_CHUNKS {
+                dm.put_batch(server, std::mem::take(&mut window), pref)?;
+            }
+        }
+        // Overwriting with a shorter value: drop the stale tail chunks.
+        for index in chunks..MAX_CHUNKS {
+            if dm.delete(server, chunk_key(*base, index)).is_err() {
+                break;
+            }
+        }
+    }
+    if !window.is_empty() {
+        dm.put_batch(server, window, pref)?;
+    }
+    Ok(())
+}
+
+/// Loads several chunked values with coalesced fetches: one `get_batch`
+/// for every value's length chunk, then one `get_batch` for all remaining
+/// chunks of all values — two batched rounds (each grouped per host by
+/// the core) instead of `2 × n` point lookups.
+///
+/// Results are returned in `bases` order.
+///
+/// # Errors
+///
+/// Fails on the first unknown or corrupt value, with no partial results
+/// (the [`get_batch`](DisaggregatedMemory::get_batch) contract).
+pub fn load_chunked_many(
+    dm: &DisaggregatedMemory,
+    server: ServerId,
+    bases: &[u64],
+) -> DmemResult<Vec<Vec<u8>>> {
+    if bases.is_empty() {
+        return Ok(Vec::new());
+    }
+    let first_keys: Vec<u64> = bases.iter().map(|&b| chunk_key(b, 0)).collect();
+    let firsts = dm.get_batch(server, &first_keys)?;
+    let mut framed_parts: Vec<Vec<u8>> = Vec::with_capacity(bases.len());
+    let mut lens: Vec<usize> = Vec::with_capacity(bases.len());
+    let mut tail_keys: Vec<u64> = Vec::new();
+    let mut tail_owner: Vec<usize> = Vec::new();
+    for (i, (&base, first)) in bases.iter().zip(firsts).enumerate() {
+        if first.len() < 8 {
+            return Err(DmemError::Corrupt(dmem_types::EntryId::new(
+                server,
+                chunk_key(base, 0),
+            )));
+        }
+        let len = u64::from_le_bytes(first[..8].try_into().expect("8 bytes")) as usize;
+        let chunks = (len + 8).div_ceil(PAGE_SIZE) as u64;
+        for c in 1..chunks {
+            tail_keys.push(chunk_key(base, c));
+            tail_owner.push(i);
+        }
+        lens.push(len);
+        framed_parts.push(first);
+    }
+    if !tail_keys.is_empty() {
+        let tails = dm.get_batch(server, &tail_keys)?;
+        for (owner, part) in tail_owner.into_iter().zip(tails) {
+            framed_parts[owner].extend_from_slice(&part);
+        }
+    }
+    let mut out = Vec::with_capacity(bases.len());
+    for ((mut framed, len), &base) in framed_parts.into_iter().zip(lens).zip(bases) {
+        if framed.len() < len + 8 {
+            return Err(DmemError::Corrupt(dmem_types::EntryId::new(
+                server,
+                chunk_key(base, 0),
+            )));
+        }
+        framed.drain(..8);
+        framed.truncate(len);
+        out.push(framed);
+    }
+    Ok(out)
+}
+
+/// The storage tier currently holding a chunked value's length chunk, or
+/// `None` when the value is absent. Clients that track per-tier byte
+/// budgets (the tiered KV engine) use this to learn where a batched store
+/// actually landed — QoS admission may have degraded it to disk.
+pub fn tier_of(
+    dm: &DisaggregatedMemory,
+    server: ServerId,
+    base: u64,
+) -> Option<dmem_types::EntryLocation> {
+    dm.record(server, chunk_key(base, 0)).map(|r| r.location)
+}
+
 /// Deletes a chunked value. Returns the number of chunks removed (0 when
 /// the key was absent).
 pub fn delete_chunked(dm: &DisaggregatedMemory, server: ServerId, base: u64) -> usize {
@@ -201,6 +344,89 @@ mod tests {
         assert!(matches!(
             store_chunked(&dm, server, 1, &too_big, TierPreference::Auto),
             Err(DmemError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn many_roundtrip_matches_singles() {
+        let (dm, server) = system();
+        let values: Vec<Vec<u8>> = (0..12u8)
+            .map(|i| vec![i; 300 * (i as usize + 1)])
+            .collect();
+        let items: Vec<(u64, &[u8])> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (100 + i as u64, v.as_slice()))
+            .collect();
+        store_chunked_many(&dm, server, &items, TierPreference::Auto).unwrap();
+        // Batched loads agree with the point loads, in bases order.
+        let bases: Vec<u64> = items.iter().map(|(b, _)| *b).collect();
+        let loaded = load_chunked_many(&dm, server, &bases).unwrap();
+        assert_eq!(loaded, values);
+        for (base, value) in bases.iter().zip(&values) {
+            assert_eq!(&load_chunked(&dm, server, *base).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn many_spans_multiple_windows() {
+        let (dm, server) = system();
+        // 24 two-chunk values = 48 chunks > one 32-chunk window.
+        let value = vec![0x5Au8; PAGE_SIZE + 100];
+        let items: Vec<(u64, &[u8])> = (0..24u64).map(|i| (200 + i, value.as_slice())).collect();
+        store_chunked_many(&dm, server, &items, TierPreference::Auto).unwrap();
+        let bases: Vec<u64> = items.iter().map(|(b, _)| *b).collect();
+        for got in load_chunked_many(&dm, server, &bases).unwrap() {
+            assert_eq!(got, value);
+        }
+    }
+
+    #[test]
+    fn many_overwrite_drops_stale_tails() {
+        let (dm, server) = system();
+        store_chunked(&dm, server, 300, &vec![1u8; 3 * PAGE_SIZE], TierPreference::Auto).unwrap();
+        let short: &[u8] = b"short";
+        store_chunked_many(&dm, server, &[(300, short)], TierPreference::Auto).unwrap();
+        assert_eq!(load_chunked(&dm, server, 300).unwrap(), b"short");
+        assert_eq!(dm.stats().entries, 1, "stale tail chunks must be gone");
+    }
+
+    #[test]
+    fn many_empty_and_missing() {
+        let (dm, server) = system();
+        assert!(load_chunked_many(&dm, server, &[]).unwrap().is_empty());
+        store_chunked_many(&dm, server, &[], TierPreference::Auto).unwrap();
+        assert!(matches!(
+            load_chunked_many(&dm, server, &[9999]),
+            Err(DmemError::EntryNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn many_oversized_value_rejected_before_any_store() {
+        let (dm, server) = system();
+        let ok = vec![1u8; 64];
+        let too_big = vec![0u8; (MAX_CHUNKS as usize) * PAGE_SIZE];
+        assert!(matches!(
+            store_chunked_many(
+                &dm,
+                server,
+                &[(1, ok.as_slice()), (2, too_big.as_slice())],
+                TierPreference::Auto
+            ),
+            Err(DmemError::InvalidConfig { .. })
+        ));
+        assert_eq!(dm.stats().entries, 0, "nothing may land when the batch is invalid");
+    }
+
+    #[test]
+    fn tier_of_reports_location() {
+        let (dm, server) = system();
+        assert!(tier_of(&dm, server, 40).is_none());
+        store_chunked(&dm, server, 40, b"x", TierPreference::Disk).unwrap();
+        assert!(matches!(
+            tier_of(&dm, server, 40),
+            Some(dmem_types::EntryLocation::Disk)
         ));
     }
 

@@ -30,5 +30,10 @@
 #![warn(missing_docs)]
 
 mod store;
+mod tiered;
 
 pub use store::{KvCache, KvCacheStats};
+pub use tiered::{
+    LlmCostModel, SpillPolicy, TierOccupancy, TieredKvConfig, TieredKvEngine, TieredKvStats,
+    TurnServed,
+};

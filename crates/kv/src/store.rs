@@ -135,6 +135,10 @@ impl KvCache {
     }
 
     fn demote_until(&mut self, needed: ByteSize) -> DmemResult<()> {
+        // Collect every LRU victim first, then spill them in one
+        // coalesced batch: per-host fabric verbs are shared across the
+        // whole eviction burst instead of paid per value.
+        let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
         while self.used + needed > self.capacity && !self.hot.is_empty() {
             let (&tick, victim) = self.lru.iter().next().expect("hot set nonempty");
             let victim = victim.clone();
@@ -142,15 +146,14 @@ impl KvCache {
             let entry = self.hot.remove(&victim).expect("victim hot");
             self.used -= ByteSize::from(entry.value.len());
             let frame = Self::frame(&victim, &entry.value, entry.expires_at_ns);
-            chunked::store_chunked(
-                &self.dm,
-                self.server,
-                Self::base_of(&victim),
-                &frame,
-                TierPreference::Auto,
-            )?;
+            frames.push((Self::base_of(&victim), frame));
             self.demoted.insert(victim, ());
             self.stats.demotions += 1;
+        }
+        if !frames.is_empty() {
+            let items: Vec<(u64, &[u8])> =
+                frames.iter().map(|(b, f)| (*b, f.as_slice())).collect();
+            chunked::store_chunked_many(&self.dm, self.server, &items, TierPreference::Auto)?;
         }
         Ok(())
     }

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod conversation;
 pub mod kv;
 pub mod traces;
 pub mod zipf;
 
 pub use catalog::{AppKind, AppProfile};
+pub use conversation::{ConversationConfig, ConversationStream, TurnEvent};
 pub use kv::{KvOp, KvWorkload};
 pub use traces::{PageAccess, TraceConfig};
 pub use zipf::ZipfSampler;
