@@ -48,15 +48,27 @@ step "chaos fault-free baseline (byte-identical)" sh -c '
 # The same sweep with the fabric fault layer armed: verb drops/delays/
 # duplication, partitions and QP breaks on every seed, judged by the
 # fault-reads and suspect-resolution invariants on top of the original
-# five. Run twice and diffed: the whole fault schedule — injections,
-# retries, failovers, suspicions — must be seed-deterministic down to
-# the per-seed metrics digests.
-step "faults chaos smoke (seeds 0..32, determinism gate)" sh -c '
-    cargo run --release --quiet --bin chaos -- --seeds 0..32 --faults \
+# five. Run at --jobs 1 vs --jobs 4 and diffed: the whole fault schedule
+# — injections, retries, failovers, suspicions, and the per-seed alert
+# logs with their digests — must be byte-identical regardless of how the
+# seeds fan across cores.
+step "faults chaos smoke (seeds 0..32, --jobs 1 vs 4 determinism gate)" sh -c '
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --faults --jobs 1 \
         > target/chaos_faults_a.txt
-    cargo run --release --quiet --bin chaos -- --seeds 0..32 --faults \
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --faults --jobs 4 \
         > target/chaos_faults_b.txt
     diff target/chaos_faults_a.txt target/chaos_faults_b.txt
+'
+
+# Flight-recorder dump smoke: force a known invariant failure (factor-1
+# data lost to a node crash) from a pinned seed and byte-diff the dump —
+# violation line, recent-event ring, metric windows — against the
+# committed golden. The dump path must stay deterministic or it is
+# useless for debugging chaos failures.
+step "chaos flight-recorder fixture (golden dump)" sh -c '
+    cargo run --release --quiet --bin chaos -- --flight-fixture \
+        > results/chaos_flight_fixture.txt
+    git diff --exit-code -- results/chaos_flight_fixture.txt
 '
 
 # Sharded-engine determinism gate, chaos side: the same 32-seed sweep
@@ -82,6 +94,18 @@ step "fig4_rack smoke determinism (workers 1 vs 4 + golden CSV)" sh -c '
         > target/fig4_rack_smoke_4.txt
     diff target/fig4_rack_smoke_1.txt target/fig4_rack_smoke_4.txt
     git diff --exit-code -- results/fig4_rack_smoke.csv
+'
+
+# Rack timeline gate: the merged per-window metric timeline — per-shard
+# samplers stitched in (window, shard) order — must be byte-identical at
+# 1 vs 4 workers AND match the committed golden CSV.
+step "fig4_rack timeline (workers 1 vs 4 + golden CSV)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin fig4_rack -- --smoke --shards 1 \
+        --timeline-out results/fig4_rack_timeline.csv > /dev/null
+    cargo run --release --quiet -p dmem-bench --bin fig4_rack -- --smoke --shards 4 \
+        --timeline-out target/fig4_rack_timeline_4.csv > /dev/null
+    diff results/fig4_rack_timeline.csv target/fig4_rack_timeline_4.csv
+    git diff --exit-code -- results/fig4_rack_timeline.csv
 '
 
 # Rack perf smoke: wall-clock at 1 vs 4 workers against the committed
@@ -129,6 +153,15 @@ step "dmem_top --kv (golden report)" sh -c '
     cargo run --release --quiet -p dmem-bench --bin dmem_top -- --kv \
         > results/dmem_top_kv.txt
     git diff --exit-code -- results/dmem_top_kv.txt
+'
+
+# dmem_top --all: the combined one-pass report (traced qos + tiered KV +
+# rack timeline sparklines + chaos alert log) is pinned byte-for-byte by
+# the dmem_top_all_golden test; regenerate here so drift shows in CI logs.
+step "dmem_top --all (golden report)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin dmem_top -- --all \
+        > results/dmem_top_all.txt
+    git diff --exit-code -- results/dmem_top_all.txt
 '
 
 # Traced fig4: one telemetry-enabled pass exporting a Chrome-trace JSON,

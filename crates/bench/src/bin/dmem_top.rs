@@ -25,6 +25,18 @@
 //! prefix-hit rate and the demotion digest. Byte-identical across
 //! machines and reruns; pinned by `results/dmem_top_kv.txt`.
 //!
+//! `--timeline` instead prints the rack smoke scenario's merged
+//! per-window metric timeline as sparkline rows (one per counter /
+//! histogram series) — `top`'s history strip for the virtual rack.
+//!
+//! `--alerts` instead replays a chaos `--faults` seed and prints the
+//! deterministic alert log: burn-rate / retry-storm / suspect-churn
+//! firing and resolved edges with their FNV digest.
+//!
+//! `--all` runs every section in one pass — qos report, KV report,
+//! timeline, alerts — and is pinned byte-for-byte by
+//! `results/dmem_top_all.txt`.
+//!
 //! `--check-trace FILE` instead validates a previously exported
 //! Chrome-trace JSON: it must parse, be shaped like the trace-event
 //! format, and contain spans from at least four simulation layers. Used
@@ -34,7 +46,10 @@ use dmem_bench::TelemetryArgs;
 use dmem_core::DisaggregatedMemory;
 use dmem_kv::{LlmCostModel, SpillPolicy, TieredKvConfig, TieredKvEngine};
 use dmem_qos::{QosConfig, QosEngine, TenantSpec};
-use dmem_sim::{jsonlite, SimDuration};
+use dmem_sim::{jsonlite, sparkline, SimDuration};
+use memory_disaggregation::chaos::{run_seed, ChaosSettings};
+use memory_disaggregation::rack::{run_rack, RackConfig};
+use memory_disaggregation::sim::chaos::ChaosConfig;
 use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
 use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
 use dmem_workloads::{catalog, ConversationConfig, ConversationStream, TraceConfig};
@@ -280,6 +295,84 @@ kv serving:").unwrap();
     out
 }
 
+/// The `--timeline` report: runs the rack smoke scenario and renders its
+/// merged per-window metric timeline as one sparkline row per series.
+/// Worker count never changes the merged timeline, so the output is
+/// byte-identical across machines and `bench_jobs` values.
+fn run_timeline_report() -> String {
+    let config = RackConfig::smoke();
+    let report = run_rack(&config, dmem_bench::bench_jobs());
+    let timeline = &report.timeline;
+    let mut out = String::new();
+    writeln!(out, "dmem-top — rack timeline (virtual time)").unwrap();
+    writeln!(
+        out,
+        "run: rack smoke, {} hosts / {} shards, {} windows of {} ns",
+        report.hosts,
+        report.shards,
+        timeline.windows.len(),
+        config.timeline_window.as_nanos()
+    )
+    .unwrap();
+    for (name, is_histogram) in timeline.series_names() {
+        if is_histogram {
+            let p99 = timeline.p99_series(&name);
+            let total: u64 = timeline.count_series(&name).iter().sum();
+            writeln!(
+                out,
+                "  {name:<26} {} p99<= {} ns, n={total}",
+                sparkline(&p99),
+                p99.iter().copied().max().unwrap_or(0)
+            )
+            .unwrap();
+        } else {
+            let series = timeline.counter_series(&name);
+            let total: u64 = series.iter().sum();
+            writeln!(out, "  {name:<26} {} total={total}", sparkline(&series)).unwrap();
+        }
+    }
+    out
+}
+
+/// The `--alerts` report: replays one chaos `--faults` seed and prints
+/// the alert engine's firing/resolved edges with their digest — the
+/// exact log `chaos --faults` emits per clean seed.
+fn run_alerts_report() -> String {
+    let config = ChaosConfig {
+        fabric_faults: true,
+        ..ChaosConfig::default()
+    };
+    let settings = ChaosSettings {
+        faults: true,
+        ..ChaosSettings::default()
+    };
+    let mut out = String::new();
+    writeln!(out, "dmem-top — chaos alert log (virtual time)").unwrap();
+    writeln!(
+        out,
+        "run: chaos --faults seed 0x0, default schedule, 50 ms windows"
+    )
+    .unwrap();
+    match run_seed(0, &config, &settings) {
+        Ok(stats) => {
+            writeln!(
+                out,
+                "alerts: {} ({} windows)",
+                stats.alert_digest, stats.telemetry_windows
+            )
+            .unwrap();
+            for line in &stats.alert_log {
+                writeln!(out, "  {line}").unwrap();
+            }
+        }
+        Err(report) => {
+            writeln!(out, "UNEXPECTED VIOLATION:").unwrap();
+            writeln!(out, "{report}").unwrap();
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--check-trace") {
@@ -300,8 +393,26 @@ fn main() -> ExitCode {
     }
     let qos = args.iter().any(|a| a == "--qos");
     let kv = args.iter().any(|a| a == "--kv");
+    let timeline = args.iter().any(|a| a == "--timeline");
+    let alerts = args.iter().any(|a| a == "--alerts");
+    let all = args.iter().any(|a| a == "--all");
     let telemetry = TelemetryArgs::parse(args.into_iter());
-    let report = if kv {
+    let report = if all {
+        // One pass over every section; each is independently
+        // deterministic, so the concatenation is too (pinned by
+        // results/dmem_top_all.txt).
+        [
+            run_report(&telemetry, true),
+            run_kv_report(),
+            run_timeline_report(),
+            run_alerts_report(),
+        ]
+        .join("\n")
+    } else if timeline {
+        run_timeline_report()
+    } else if alerts {
+        run_alerts_report()
+    } else if kv {
         run_kv_report()
     } else {
         run_report(&telemetry, qos)

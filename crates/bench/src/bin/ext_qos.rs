@@ -19,11 +19,16 @@
 use dmem_bench::{par_map, Table};
 use dmem_core::DisaggregatedMemory;
 use dmem_qos::{QosConfig, QosEngine, TenantSpec};
-use dmem_sim::{DetRng, SimDuration};
+use dmem_sim::{DetRng, SimDuration, TelemetryHub};
 use dmem_types::{ByteSize, ClusterConfig, NodeConfig, ServerConfig};
 use dmem_workloads::ZipfSampler;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Sampling grid for the alert passes: wide enough that each window
+/// holds several KV gets, fine enough that the burn shows up as a
+/// multi-window run rather than one blob.
+const ALERT_WINDOW: SimDuration = SimDuration::from_millis(20);
 
 /// Sweep dimensions; `--smoke` shrinks them for the CI golden check.
 struct Scale {
@@ -80,15 +85,36 @@ fn noisy(rng: &mut DetRng, len: usize) -> Vec<u8> {
     (0..len).map(|_| rng.below(256) as u8).collect()
 }
 
+/// QoS wiring for one pass.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// No engine at all — the uncontrolled baseline rows.
+    Off,
+    /// Quotas + priority + fabric rate limits — the QoS rows.
+    Controlled,
+    /// Engine installed for attribution only: equal priorities, ample
+    /// quotas, no rate limits. The cluster crowds exactly like an
+    /// ungoverned one, but the `qos.kv.get.ns` histogram still feeds the
+    /// hub's burn-rate rule — how you watch a fleet you haven't gated yet.
+    ObserveOnly,
+}
+
 /// One cluster, one KV tenant, `antagonists` greedy tenants. Returns the
-/// KV tenant's (p50, p99) get latency over the measured rounds.
-fn run(antagonists: usize, qos: bool, rounds: usize) -> (SimDuration, SimDuration) {
+/// KV tenant's (p50, p99) get latency over the measured rounds. When
+/// `hub` is given it is installed before the workload and ticked on the
+/// maintenance cadence, turning the pass into an alert run.
+fn run(
+    antagonists: usize,
+    mode: Mode,
+    rounds: usize,
+    hub: Option<&Arc<TelemetryHub>>,
+) -> (SimDuration, SimDuration) {
     let dm = Arc::new(DisaggregatedMemory::new(tight_cluster()).unwrap());
     let servers = dm.servers();
     let kv_server = servers[0];
     let ant_servers = &servers[1..=antagonists];
 
-    if qos {
+    if mode != Mode::Off {
         let engine = Arc::new(QosEngine::new(QosConfig::default()));
         let kv = engine.register_tenant(
             TenantSpec::new("kv", 200, ByteSize::from_mib(16))
@@ -96,11 +122,19 @@ fn run(antagonists: usize, qos: bool, rounds: usize) -> (SimDuration, SimDuratio
         );
         engine.assign_server(kv_server, kv);
         for (i, server) in ant_servers.iter().enumerate() {
-            let antagonist = engine.register_tenant(
+            let spec = if mode == Mode::Controlled {
                 TenantSpec::new(format!("antag-{i:02}"), 10, ByteSize::from_kib(64))
-                    .with_fabric_rate(ByteSize::from_mib(16).as_u64()),
-            );
-            engine.assign_server(*server, antagonist);
+                    .with_fabric_rate(ByteSize::from_mib(16).as_u64())
+            } else {
+                // Observe-only: same priority and ample quota, no rate
+                // limit — the engine attributes but never intervenes.
+                TenantSpec::new(format!("antag-{i:02}"), 200, ByteSize::from_mib(16))
+            };
+            engine.assign_server(*server, engine.register_tenant(spec));
+        }
+        if let Some(hub) = hub {
+            hub.set_rules(engine.burn_rate_rules(1, 4, 5000, 500));
+            dm.install_telemetry(Arc::clone(hub));
         }
         dm.install_qos(engine);
     }
@@ -150,6 +184,12 @@ fn run(antagonists: usize, qos: bool, rounds: usize) -> (SimDuration, SimDuratio
         if round % 16 == 15 {
             dm.qos_tick();
         }
+        // Telemetry sampling rides the round cadence; a no-op without an
+        // installed hub, so the table passes are untouched.
+        dm.telemetry_tick();
+    }
+    if let Some(hub) = hub {
+        hub.flush(clock.now());
     }
 
     latencies.sort_unstable();
@@ -174,8 +214,8 @@ fn main() -> ExitCode {
     );
     let results = par_map(scale.antagonist_counts.to_vec(), |_, n| {
         (
-            run(n, false, scale.rounds),
-            run(n, true, scale.rounds),
+            run(n, Mode::Off, scale.rounds, None),
+            run(n, Mode::Controlled, scale.rounds, None),
         )
     });
     let us = |d: SimDuration| format!("{:.1} us", d.as_micros_f64());
@@ -200,21 +240,53 @@ fn main() -> ExitCode {
     }
     table.emit(scale.csv_name);
 
+    // Two dedicated alert passes at the top of the sweep: an
+    // observe-only cluster (engine attributes, never intervenes) whose
+    // KV burn-rate alert must fire, and the governed cluster, which must
+    // stay strictly quieter. Logs and digests are pure virtual-time
+    // functions — byte-identical across machines and reruns.
+    let worst = *scale.antagonist_counts.last().unwrap();
+    let mut firing = [0usize; 2];
+    for (slot, mode, label) in [
+        (0, Mode::ObserveOnly, "observe-only"),
+        (1, Mode::Controlled, "qos"),
+    ] {
+        let hub = Arc::new(TelemetryHub::new(ALERT_WINDOW));
+        run(worst, mode, scale.rounds, Some(&hub));
+        let log = hub.alert_log();
+        println!(
+            "\nalert log ({label}, {worst} antagonists): {} ({} windows)",
+            hub.alert_digest(),
+            hub.timeline().windows.len()
+        );
+        for line in &log {
+            println!("  {line}");
+        }
+        if log.is_empty() {
+            println!("  (no alerts)");
+        }
+        firing[slot] = log.iter().filter(|l| l.contains("FIRING")).count();
+    }
+
     // Acceptance, enforced so CI fails loudly if isolation regresses:
     // under QoS the KV p99 must stay within 2x of its 1-antagonist value
-    // at the top of the sweep, while the uncontrolled run must degrade.
+    // at the top of the sweep, while the uncontrolled run must degrade —
+    // and the SLO burn alert must see it: firing on the observe-only
+    // cluster, quieter under governance.
     let qos_flat = qos_p99.last().unwrap().as_nanos() <= 2 * qos_p99[0].as_nanos().max(1);
     let base_worse = noqos_p99.last().unwrap() > &(*qos_p99.last().unwrap() * 2);
+    let alerts_seen = firing[0] >= 1 && firing[1] < firing[0];
     println!("\nReading: every antagonist added to the uncontrolled cluster pushes more of");
     println!("the KV tenant's pages to disk, so its p99 climbs toward the 4 ms disk read;");
     println!("quotas + priority eviction keep the same pages fast-tier resident and the");
     println!("p99 flat — the paper's per-application quota and priority policies at work.");
-    if qos_flat && base_worse {
+    if qos_flat && base_worse && alerts_seen {
         println!("isolation: PASS");
         ExitCode::SUCCESS
     } else {
         println!(
-            "isolation: FAIL (qos flat: {qos_flat}, uncontrolled degrades: {base_worse})"
+            "isolation: FAIL (qos flat: {qos_flat}, uncontrolled degrades: {base_worse}, \
+             alerts seen: {alerts_seen})"
         );
         ExitCode::FAILURE
     }

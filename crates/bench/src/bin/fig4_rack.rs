@@ -22,7 +22,9 @@
 //! * `--check BASELINE` — with `--perf`: fail on a > 3x wall-clock
 //!   regression against the named baseline JSON;
 //! * `--trace-out FILE` — write the merged shard trace (JSONL) of the
-//!   last run.
+//!   last run;
+//! * `--timeline-out FILE` — write the merged per-window metric timeline
+//!   (CSV) of the last run.
 
 use memory_disaggregation::rack::{run_rack, RackConfig, RackReport};
 use std::fmt::Write as _;
@@ -35,7 +37,8 @@ const REQUIRED_SPEEDUP: f64 = 2.0;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig4_rack [--smoke] [--shards N] [--perf] [--check BASELINE] [--trace-out FILE]"
+        "usage: fig4_rack [--smoke] [--shards N] [--perf] [--check BASELINE] [--trace-out FILE] \
+         [--timeline-out FILE]"
     );
     std::process::exit(2);
 }
@@ -186,6 +189,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut check: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut timeline_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -201,6 +205,7 @@ fn main() {
             }
             "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--timeline-out" => timeline_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -244,6 +249,10 @@ fn main() {
 
     if let (Some(path), Some(report)) = (trace_out.as_deref(), last.as_ref()) {
         std::fs::write(path, &report.trace_jsonl).expect("write trace jsonl");
+        println!("[written {path}]");
+    }
+    if let (Some(path), Some(report)) = (timeline_out.as_deref(), last.as_ref()) {
+        std::fs::write(path, report.timeline.to_csv()).expect("write timeline csv");
         println!("[written {path}]");
     }
 }

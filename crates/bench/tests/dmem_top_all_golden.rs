@@ -1,0 +1,62 @@
+//! Golden-file test for `dmem_top --all` (ISSUE 8, observability).
+//!
+//! `--all` concatenates every report section in one pass — the traced
+//! qos report, the tiered-KV report, the rack timeline sparklines, and
+//! the chaos alert log. Each section runs entirely on the virtual
+//! clock, so the combined output is byte-identical across machines,
+//! build profiles, worker counts and reruns. This test pins it against
+//! a committed fixture; any intentional change must regenerate it:
+//!
+//! ```sh
+//! cargo run --release -q -p dmem-bench --bin dmem_top -- --all \
+//!     > results/dmem_top_all.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn all_report_matches_committed_fixture() {
+    let fixture_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/dmem_top_all.txt");
+    let expected = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture_path.display()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_dmem_top"))
+        .arg("--all")
+        .output()
+        .expect("run dmem_top --all");
+    assert!(
+        output.status.success(),
+        "dmem_top --all exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = String::from_utf8(output.stdout).expect("report is UTF-8");
+
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "report diverges from fixture at line {}", i + 1);
+        }
+        panic!(
+            "report and fixture differ in length: {} vs {} bytes \
+             (regenerate results/dmem_top_all.txt if the change is intended)",
+            actual.len(),
+            expected.len()
+        );
+    }
+
+    // Structural spot-checks so the fixture cannot silently pin a
+    // degenerate report: every section present, alerts firing.
+    for marker in [
+        "dmem-top — ",
+        "tenants (qos):",
+        "kv tiers (occupancy):",
+        "rack timeline",
+        "chaos alert log",
+        "FIRING retry-backoff-burn",
+        "FIRING retry-storm",
+    ] {
+        assert!(actual.contains(marker), "--all report lacks {marker:?}");
+    }
+}

@@ -75,6 +75,8 @@ pub struct MaintenanceReport {
     pub qos_ticks: u64,
     /// Control actions (donation rebalances) the QoS controller applied.
     pub qos_actions: u64,
+    /// Telemetry sampling passes that captured a metric window.
+    pub telemetry_windows: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +86,7 @@ enum Task {
     Advertise,
     Balloon,
     QosTick,
+    Telemetry,
 }
 
 /// The periodic-maintenance driver. See the module docs.
@@ -119,6 +122,13 @@ impl Maintenance {
         }
         if !config.qos_interval.is_zero() && dm.qos().is_some() {
             queue.schedule(now + config.qos_interval, Task::QosTick);
+        }
+        // The telemetry sampler ticks on the hub's own window width, so
+        // every capture lands exactly on a grid boundary. Like QosTick,
+        // the task exists only when a hub is installed: unobserved runs
+        // schedule nothing and execute identical event sequences.
+        if let Some(hub) = dm.telemetry() {
+            queue.schedule(now + hub.window(), Task::Telemetry);
         }
         Maintenance {
             dm,
@@ -220,6 +230,18 @@ impl Maintenance {
                             self.dm.clock().now() + self.config.qos_interval,
                             Task::QosTick,
                         );
+                    }
+                    Task::Telemetry => {
+                        report.telemetry_windows += self.dm.telemetry_tick() as u64;
+                        let window = self
+                            .dm
+                            .telemetry()
+                            .map(|hub| hub.window())
+                            .unwrap_or_default();
+                        if !window.is_zero() {
+                            self.queue
+                                .schedule(self.dm.clock().now() + window, Task::Telemetry);
+                        }
                     }
                 }
             }

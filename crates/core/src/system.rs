@@ -12,7 +12,7 @@ use dmem_node::NodeManager;
 use dmem_qos::{AdmitDecision, ControlAction, QosEngine, ResidentTier, Victim};
 use dmem_sim::shard::ShardMap;
 use dmem_sim::{
-    CostModel, DetRng, FailureInjector, MetricsRegistry, SimClock, SimDuration,
+    CostModel, DetRng, FailureInjector, MetricsRegistry, SimClock, SimDuration, TelemetryHub,
 };
 use dmem_types::{
     checksum, ByteSize, ClusterConfig, DmemError, DmemResult, EntryId, EntryLocation, EntryRecord,
@@ -92,6 +92,10 @@ pub struct DisaggregatedMemory {
     /// default) the fabric skips routing entirely, so unsharded runs
     /// stay byte-identical to builds that predate sharding.
     sharding: OnceLock<Arc<ShardRouter>>,
+    /// Optional windowed telemetry hub (timeline sampler + alert engine
+    /// + flight recorder). Same opt-in contract as `qos`: uninstalled,
+    /// nothing samples and nothing is scheduled.
+    telemetry: OnceLock<Arc<TelemetryHub>>,
 }
 
 impl DisaggregatedMemory {
@@ -167,6 +171,7 @@ impl DisaggregatedMemory {
             metrics: MetricsRegistry::new(),
             qos: OnceLock::new(),
             sharding: OnceLock::new(),
+            telemetry: OnceLock::new(),
         })
     }
 
@@ -255,6 +260,39 @@ impl DisaggregatedMemory {
     /// The installed QoS engine, if any.
     pub fn qos(&self) -> Option<&Arc<QosEngine>> {
         self.qos.get()
+    }
+
+    /// Installs the windowed telemetry hub (time-series sampler, alert
+    /// engine, flight recorder) and points it at this system's metrics
+    /// registry plus the fabric's. May be called at most once; nothing
+    /// installs one by default, so unobserved runs never even schedule
+    /// the sampling task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hub is already installed.
+    pub fn install_telemetry(&self, hub: Arc<TelemetryHub>) {
+        hub.add_registry(self.metrics.clone());
+        hub.add_registry(self.fabric.metrics().clone());
+        if self.telemetry.set(hub).is_err() {
+            panic!("telemetry hub already installed");
+        }
+    }
+
+    /// The installed telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.telemetry.get()
+    }
+
+    /// One telemetry sampling pass at the current virtual time: captures
+    /// a metric window (and evaluates alert rules on it) if a window
+    /// boundary has been crossed. Returns the number of windows captured.
+    /// No-op without an installed hub.
+    pub fn telemetry_tick(&self) -> usize {
+        let Some(hub) = self.telemetry.get() else {
+            return 0;
+        };
+        hub.tick(self.clock.now())
     }
 
     /// A tenant-priority resolver for [`RemoteSlabEvictor::with_priority`],

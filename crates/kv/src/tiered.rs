@@ -276,6 +276,14 @@ impl TieredKvEngine {
         Self::with_servers(dm, server, server, config)
     }
 
+    /// Mirrors a serving-path event into the cluster metrics registry as
+    /// a `kv.*` counter: the [`TieredKvStats`] totals only tell
+    /// end-of-run, while these let the timeline sampler and the
+    /// spill-thrash alert rules see tier traffic per window.
+    fn kv_count(&self, name: &str) {
+        self.dm.metrics().counter(name).inc();
+    }
+
     /// Creates an engine with a tenant split: conversations below
     /// [`TieredKvConfig::long_running_turns`] completed turns store under
     /// `rookie`, older ones (and the prefix cache) under `veteran`.
@@ -452,6 +460,7 @@ impl TieredKvEngine {
             SpillPolicy::DropCold => {
                 for (session, bytes) in taken {
                     self.stats.drops += 1;
+                    self.kv_count("kv.drop");
                     self.note_demotion(session, b'x');
                     drop(bytes);
                 }
@@ -460,6 +469,7 @@ impl TieredKvEngine {
             SpillPolicy::DiskOnly => {
                 for (session, _) in &taken {
                     self.stats.demote_to_disk += 1;
+                    self.kv_count("kv.demote.disk");
                     self.note_demotion(*session, b'd');
                 }
                 self.store_cold(taken, ColdTier::Disk)
@@ -469,6 +479,7 @@ impl TieredKvEngine {
                 self.shrink_remote(incoming)?;
                 for (session, _) in &taken {
                     self.stats.demote_to_remote += 1;
+                    self.kv_count("kv.demote.remote");
                     self.note_demotion(*session, b'r');
                 }
                 self.store_cold(taken, ColdTier::Remote)
@@ -519,6 +530,7 @@ impl TieredKvEngine {
                 self.remote_used -= cold.len as u64;
                 cold.tier = ColdTier::Disk;
                 self.stats.demote_to_disk += 1;
+                self.kv_count("kv.demote.disk");
             }
         }
         for session in victims {
@@ -604,8 +616,10 @@ impl TieredKvEngine {
                     self.remote_lru.remove(&cold.tick);
                     self.remote_used -= cold.len as u64;
                     self.stats.remote_fetches += 1;
+                    self.kv_count("kv.fetch.remote");
                 } else {
                     self.stats.disk_fetches += 1;
+                    self.kv_count("kv.fetch.disk");
                 }
                 chunked::delete_chunked(&self.dm, server, session);
                 found.insert(session, bytes.clone());
@@ -685,6 +699,7 @@ impl TieredKvEngine {
                 opening.truncate(prefix_len);
                 self.insert_local(session, opening)?;
                 self.stats.prefix_hits += 1;
+                self.kv_count("kv.prefix.hit");
                 TurnServed::PrefixHit
             } else {
                 clock.advance(self.config.cost.prefill(context_tokens));
@@ -692,11 +707,13 @@ impl TieredKvEngine {
                 self.cache_prefix(prefix_id, &bytes)?;
                 self.insert_local(session, bytes)?;
                 self.stats.prefix_misses += 1;
+                self.kv_count("kv.prefix.miss");
                 TurnServed::PrefixMiss
             }
         } else if self.local.contains_key(&session) {
             self.touch_local(session);
             self.stats.local_hits += 1;
+            self.kv_count("kv.local.hit");
             TurnServed::Local
         } else if self.cold.contains_key(&session) {
             let was_remote = self.cold[&session].tier == ColdTier::Remote;
@@ -717,6 +734,7 @@ impl TieredKvEngine {
             self.insert_local(session, bytes)?;
             self.stats.recomputes += 1;
             self.stats.recomputed_tokens += u64::from(context_tokens);
+            self.kv_count("kv.recompute");
             TurnServed::Recomputed
         };
         // New prompt tokens always prefill.

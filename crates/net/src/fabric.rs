@@ -2,7 +2,7 @@
 
 use crate::faults::{FabricFault, FabricFaults, VerbOutcome};
 use dmem_sim::shard::{ShardId, ShardMap};
-use dmem_sim::{CostModel, FailureInjector, MetricsRegistry, SimClock, SimInstant};
+use dmem_sim::{CostModel, FailureInjector, MetricsRegistry, SimClock, SimDuration, SimInstant};
 use dmem_types::{ByteSize, DmemError, DmemResult, MrId, NodeId, QpId, TenantId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -567,11 +567,22 @@ impl Fabric {
         let policy = faults.retry();
         let deadline = self.clock.now() + policy.op_timeout;
         let mut attempt = 0u32;
+        // Total backoff wait this verb accumulated, recorded into the
+        // `faults.retry.wait.ns` histogram whenever a retry happened —
+        // the per-attempt `net.*.ns` histograms see only the successful
+        // transfer, so this is the timeline's view of retry-induced
+        // latency (and what the burn-rate alert rules watch). The key is
+        // only ever created after a real retry, keeping fault-free runs
+        // metric-free.
+        let mut waited = SimDuration::ZERO;
         loop {
             match attempt_once() {
                 Ok(value) => {
                     if attempt > 0 {
                         self.metrics.counter("faults.retry.recovered").inc();
+                        self.metrics
+                            .histogram("faults.retry.wait.ns")
+                            .record(waited.as_nanos());
                     }
                     return Ok(value);
                 }
@@ -584,17 +595,28 @@ impl Fabric {
                         if transient {
                             self.metrics.counter("faults.retry.exhausted").inc();
                         }
+                        if attempt > 0 {
+                            self.metrics
+                                .histogram("faults.retry.wait.ns")
+                                .record(waited.as_nanos());
+                        }
                         return Err(e);
                     }
                     let now = self.clock.now();
                     if now >= deadline {
                         self.metrics.counter("faults.retry.deadline").inc();
+                        if attempt > 0 {
+                            self.metrics
+                                .histogram("faults.retry.wait.ns")
+                                .record(waited.as_nanos());
+                        }
                         return Err(DmemError::Timeout {
                             what: format!("net.{what} deadline"),
                         });
                     }
                     let wait = faults.jittered_backoff(attempt);
                     self.metrics.counter("faults.retry.attempts").inc();
+                    waited = waited + wait;
                     self.clock.advance(wait);
                     self.clock.tracer().record_async(
                         "faults",

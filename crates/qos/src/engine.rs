@@ -13,7 +13,7 @@
 
 use crate::bucket::TokenBucket;
 use crate::tenant::TenantSpec;
-use dmem_sim::{Histogram, MetricsRegistry, SimDuration, SimInstant};
+use dmem_sim::{AlertRule, Histogram, MetricsRegistry, SimDuration, SimInstant};
 use dmem_types::{ByteSize, EntryId, NodeId, ServerId, TenantId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -613,6 +613,40 @@ impl QosEngine {
     /// Current throttle level of `tenant`.
     pub fn throttle_level(&self, tenant: TenantId) -> u8 {
         self.inner.lock().tenants[tenant.index() as usize].throttle
+    }
+
+    /// Builds one multi-window burn-rate [`AlertRule`] per SLO-bearing
+    /// tenant, watching the same `qos.<name>.get.ns` histograms the
+    /// closed-loop controller reads — the telemetry hub's bridge from
+    /// tenant SLOs to the alert log. Rules come back in tenant-id order.
+    ///
+    /// `fast_windows`/`slow_windows` span the burn measurement;
+    /// `fast_burn_bp`/`slow_burn_bp` are firing thresholds in basis
+    /// points of over-SLO observations.
+    pub fn burn_rate_rules(
+        &self,
+        fast_windows: usize,
+        slow_windows: usize,
+        fast_burn_bp: u64,
+        slow_burn_bp: u64,
+    ) -> Vec<AlertRule> {
+        let inner = self.inner.lock();
+        inner
+            .tenants
+            .iter()
+            .filter_map(|t| {
+                let slo = t.spec.slo_p99?;
+                Some(AlertRule::BurnRate {
+                    name: format!("slo-burn:{}", t.spec.name),
+                    histogram: format!("qos.{}.get.ns", t.spec.name),
+                    slo_ns: slo.as_nanos(),
+                    fast_windows,
+                    slow_windows,
+                    fast_burn_bp,
+                    slow_burn_bp,
+                })
+            })
+            .collect()
     }
 
     /// Snapshot of every tenant, ordered by id.

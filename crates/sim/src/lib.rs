@@ -18,6 +18,11 @@
 //!   re-replication, eviction scans).
 //! * [`trace`] — deterministic virtual-clock spans, time attribution and
 //!   Chrome-trace/Perfetto + JSONL exporters.
+//! * [`timeseries`] — windowed counter/histogram sampling on the virtual
+//!   clock, per-shard window merging and CSV/JSONL timeline export.
+//! * [`alerts`] — a deterministic alerting engine (multi-window SLO burn
+//!   rate, counter storms) with an FNV-digested firing/resolved log.
+//! * [`flight`] — a bounded flight recorder dumped when invariants fail.
 //! * [`jsonlite`] — a dependency-free JSON parser used to validate
 //!   exported traces.
 //!
@@ -37,19 +42,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod chaos;
 pub mod clock;
 pub mod cost;
 pub mod events;
 pub mod failure;
+pub mod flight;
 pub mod jsonlite;
 pub mod metrics;
 pub mod rng;
 pub mod shard;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
+pub use alerts::{AlertEdge, AlertEngine, AlertEvent, AlertRule};
 pub use chaos::{ChaosConfig, ChaosSchedule, ChaosStep};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use clock::{ShardClock, SimClock};
 pub use cost::{CostModel, DeviceCost};
 pub use events::EventQueue;
@@ -61,6 +71,9 @@ pub use shard::{
     ShardedEngine,
 };
 pub use time::{SimDuration, SimInstant};
+pub use timeseries::{
+    sparkline, MetricWindow, ShardSampler, ShardWindow, TelemetryHub, Timeline, WindowHistogram,
+};
 pub use trace::{
     Attribution, AttributionRow, ShardEventLog, ShardTraceEvent, SpanGuard, SpanKind, SpanRecord,
     Trace, Tracer,

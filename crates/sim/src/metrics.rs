@@ -105,7 +105,7 @@ impl Histogram {
     /// equal. (The previous `64 - v.leading_zeros()` indexing pushed
     /// `2^k` into bucket `k + 1`, inflating reported quantiles of
     /// power-of-two-heavy data by up to 2×.)
-    fn bucket_index(value: u64) -> usize {
+    pub(crate) fn bucket_index(value: u64) -> usize {
         if value <= 1 {
             0
         } else {
@@ -213,6 +213,28 @@ impl Histogram {
             }
         }
         u64::MAX
+    }
+
+    /// Upper bound of the highest non-empty bucket of an externally
+    /// supplied count array (same semantics as [`Histogram::max_bound`]);
+    /// zero when all counts are zero.
+    pub fn max_bound_of_counts(counts: &[u64; 65]) -> u64 {
+        for i in (0..counts.len()).rev() {
+            if counts[i] > 0 {
+                return if i == 0 { 1 } else { 1u64 << i.min(63) };
+            }
+        }
+        0
+    }
+
+    /// Number of observations in `counts` that are certainly above
+    /// `threshold`: the total of every bucket whose *lower* bound is at
+    /// or above it. Observations sharing the threshold's own bucket are
+    /// not counted, so the bound is conservative — the burn-rate path
+    /// picks SLOs on bucket edges to make it exact.
+    pub fn count_over_counts(counts: &[u64; 65], threshold: u64) -> u64 {
+        let first = (Self::bucket_index(threshold) + 1).min(counts.len());
+        counts[first..].iter().sum()
     }
 
     /// Compact summary for dumps and reports.
@@ -334,6 +356,17 @@ impl MetricsRegistry {
             .read()
             .iter()
             .map(|(k, v)| (k.clone(), v.summary()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram's raw bucket counts, sorted by name —
+    /// the windowed-sampling path: the timeline sampler diffs two of
+    /// these to get counts for just the observations inside one window.
+    pub fn bucket_snapshot(&self) -> Vec<(String, [u64; 65])> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.bucket_counts()))
             .collect()
     }
 }
@@ -487,6 +520,54 @@ impl LocalMetrics {
     /// Snapshot of all counter values, sorted by name.
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
         self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// `true` when nothing has been recorded (no counter increments, no
+    /// histogram observations).
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self
+                .histograms
+                .values()
+                .all(|h| h.buckets.iter().all(|&b| b == 0))
+    }
+
+    /// The increments recorded since `prev` was cloned from this buffer:
+    /// counter deltas and histogram bucket deltas, with untouched names
+    /// omitted entirely. `prev` must be an earlier snapshot of the same
+    /// buffer — counters and buckets only grow, so the subtraction never
+    /// wraps.
+    pub fn delta_since(&self, prev: &LocalMetrics) -> LocalMetrics {
+        let mut out = LocalMetrics::new();
+        for (name, &now) in &self.counters {
+            let before = prev.counter(name);
+            if now > before {
+                out.counters.insert(name.clone(), now - before);
+            }
+        }
+        for (name, h) in &self.histograms {
+            let before = prev.histograms.get(name);
+            let mut delta = LocalHistogram::default();
+            let mut any = false;
+            for i in 0..65 {
+                let b = before.map_or(0, |p| p.buckets[i]);
+                delta.buckets[i] = h.buckets[i] - b;
+                any |= delta.buckets[i] != 0;
+            }
+            if any {
+                delta.sum = h.sum - before.map_or(0, |p| p.sum);
+                out.histograms.insert(name.clone(), delta);
+            }
+        }
+        out
+    }
+
+    /// Visits every histogram as `(name, bucket_counts)` in name order —
+    /// the export path for callers that cannot see the private buckets.
+    pub fn for_each_histogram(&self, mut f: impl FnMut(&str, &[u64; 65])) {
+        for (name, h) in &self.histograms {
+            f(name, &h.buckets);
+        }
     }
 }
 
@@ -701,6 +782,72 @@ mod tests {
         fn prop_bucket_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+        }
+
+        /// `merge_counts` is commutative and associative — the timeline
+        /// merge folds per-shard windows in `(time, shard)` order and
+        /// leans on both properties for worker-count independence.
+        #[test]
+        fn prop_merge_counts_commutative_associative(
+            xs in proptest::collection::vec(0u64..1 << 48, 0..60),
+            ys in proptest::collection::vec(0u64..1 << 48, 0..60),
+            zs in proptest::collection::vec(0u64..1 << 48, 0..60),
+        ) {
+            let counts_of = |vals: &[u64]| {
+                let h = Histogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                (h.bucket_counts(), h.sum())
+            };
+            let (cx, sx) = counts_of(&xs);
+            let (cy, sy) = counts_of(&ys);
+            let (cz, sz) = counts_of(&zs);
+            let merge = |parts: &[(&[u64; 65], u64)]| {
+                let h = Histogram::new();
+                for &(c, s) in parts {
+                    h.merge_counts(c, s);
+                }
+                (h.bucket_counts(), h.sum())
+            };
+            // Commutative: x⊕y == y⊕x.
+            prop_assert_eq!(merge(&[(&cx, sx), (&cy, sy)]), merge(&[(&cy, sy), (&cx, sx)]));
+            // Associative: (x⊕y)⊕z == x⊕(y⊕z).
+            let (cxy, sxy) = merge(&[(&cx, sx), (&cy, sy)]);
+            let (cyz, syz) = merge(&[(&cy, sy), (&cz, sz)]);
+            prop_assert_eq!(merge(&[(&cxy, sxy), (&cz, sz)]), merge(&[(&cx, sx), (&cyz, syz)]));
+        }
+
+        /// Recording two streams separately and bulk-merging the bucket
+        /// counts must be indistinguishable — buckets, quantiles, summary
+        /// — from recording every value into one histogram directly.
+        #[test]
+        fn prop_merge_counts_quantile_consistent(
+            xs in proptest::collection::vec(0u64..1 << 48, 1..80),
+            ys in proptest::collection::vec(0u64..1 << 48, 1..80),
+            q_pct in 0u32..=100,
+        ) {
+            let (ha, hb, direct) = (Histogram::new(), Histogram::new(), Histogram::new());
+            for &v in &xs {
+                ha.record(v);
+                direct.record(v);
+            }
+            for &v in &ys {
+                hb.record(v);
+                direct.record(v);
+            }
+            let merged = Histogram::new();
+            merged.merge_counts(&ha.bucket_counts(), ha.sum());
+            merged.merge_counts(&hb.bucket_counts(), hb.sum());
+            let q = f64::from(q_pct) / 100.0;
+            prop_assert_eq!(merged.bucket_counts(), direct.bucket_counts());
+            prop_assert_eq!(merged.sum(), direct.sum());
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+            prop_assert_eq!(merged.summary(), direct.summary());
+            prop_assert_eq!(
+                Histogram::max_bound_of_counts(&merged.bucket_counts()),
+                direct.max_bound()
+            );
         }
     }
 }

@@ -346,6 +346,11 @@ impl ShardEventLog {
         self.events.is_empty()
     }
 
+    /// The kept events, in shard-local offer order.
+    pub fn events(&self) -> &[ShardTraceEvent] {
+        &self.events
+    }
+
     /// Offers one event to the log; it is kept if it falls on the
     /// sampling grid. `seq` is the shard-local offer count, so merged
     /// output is stable however the run was parallelised.

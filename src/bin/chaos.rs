@@ -15,8 +15,10 @@
 //! cargo run --bin chaos -- --seed 0x2a --steps 200 --jobs 4
 //! ```
 
-use memory_disaggregation::chaos::{run_seed, ChaosSettings};
-use memory_disaggregation::sim::ChaosConfig;
+use memory_disaggregation::chaos::{run_schedule, run_seed, ChaosSettings, InvariantKind};
+use memory_disaggregation::sim::chaos::{ChaosConfig, ChaosSchedule, ChaosStep};
+use memory_disaggregation::sim::{FailureEvent, SimDuration};
+use memory_disaggregation::types::{NodeId, ReplicationFactor, ServerId};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -31,8 +33,61 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 
 fn usage() -> String {
     "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N] \
-     [--qos] [--faults] [--shards N]"
+     [--qos] [--faults] [--shards N] [--flight-fixture]"
         .to_string()
+}
+
+/// Forces a known invariant failure (factor-1 data lost to a node crash,
+/// judged by the convergence checker) and prints the resulting flight
+/// recorder dump. Everything runs on the virtual clock from a pinned
+/// seed, so the output is byte-identical across reruns — ci.sh diffs it
+/// against a committed golden to smoke-test the dump path end to end.
+fn run_flight_fixture() -> bool {
+    let config = ChaosConfig {
+        nodes: 5,
+        servers_per_node: 1,
+        steps: 40,
+        keys: 8,
+        ..ChaosConfig::default()
+    };
+    let settings = ChaosSettings {
+        replication: ReplicationFactor::SINGLE,
+        ..ChaosSettings::default()
+    };
+    let s0 = ServerId::new(NodeId::new(0), 0);
+    let mut steps = Vec::new();
+    for key in 0..8 {
+        steps.push(ChaosStep::Put {
+            server: s0,
+            key,
+            len: 16 * 1024,
+        });
+    }
+    for node in [NodeId::new(1), NodeId::new(2)] {
+        steps.push(ChaosStep::Inject(FailureEvent::NodeDown(node)));
+    }
+    for node in [NodeId::new(1), NodeId::new(2)] {
+        steps.push(ChaosStep::Inject(FailureEvent::NodeUp(node)));
+    }
+    steps.push(ChaosStep::Maintain {
+        horizon: SimDuration::from_millis(250),
+    });
+    let schedule = ChaosSchedule {
+        seed: 0xBAD_5EED,
+        steps,
+    };
+    match run_schedule(&schedule, &config, &settings) {
+        Ok(stats) => {
+            println!("flight fixture: unexpectedly clean ({stats})");
+            false
+        }
+        Err(violation) => {
+            println!("flight fixture: forced violation");
+            println!("{violation}");
+            print!("{}", violation.flight_dump.as_deref().unwrap_or("(no flight dump)\n"));
+            violation.invariant == InvariantKind::Convergence
+        }
+    }
 }
 
 fn run() -> Result<bool, String> {
@@ -49,6 +104,7 @@ fn run() -> Result<bool, String> {
             "--seed" => seeds.push(parse_u64(&value("--seed")?)?),
             "--qos" => qos = true,
             "--faults" => faults = true,
+            "--flight-fixture" => return Ok(run_flight_fixture()),
             "--jobs" => {
                 jobs = parse_u64(&value("--jobs")?)?.max(1) as usize;
             }
@@ -110,11 +166,23 @@ fn run() -> Result<bool, String> {
                 if !stats.qos_digest.is_empty() {
                     println!("  qos: {}", stats.qos_digest);
                 }
+                if !stats.alert_digest.is_empty() {
+                    println!(
+                        "  alerts: {} ({} windows)",
+                        stats.alert_digest, stats.telemetry_windows
+                    );
+                    for line in &stats.alert_log {
+                        println!("    {line}");
+                    }
+                }
             }
             Err(report) => {
                 all_clean = false;
                 println!("seed {seed:#x}: FAILED");
                 println!("{report}");
+                if let Some(dump) = &report.violation.flight_dump {
+                    print!("{dump}");
+                }
             }
         }
     }

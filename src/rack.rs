@@ -29,8 +29,8 @@ use dmem_cluster::spread_replicas;
 use dmem_net::{HostOutage, ShardFaultSchedule};
 use dmem_sim::shard::{shard_rng, EngineReport, EpochCtx, ShardWorker, ShardedEngine};
 use dmem_sim::{
-    splitmix64, CostModel, DetRng, EventQueue, LocalMetrics, ShardClock, ShardEventLog, ShardId,
-    ShardMap, SimDuration, SimInstant,
+    splitmix64, CostModel, DetRng, EventQueue, FlightRecorder, LocalMetrics, ShardClock,
+    ShardEventLog, ShardId, ShardMap, ShardSampler, SimDuration, SimInstant, Timeline,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -65,6 +65,12 @@ pub struct RackConfig {
     pub outage_fraction: f64,
     /// Keep one trace event in this many (0 disables the trace).
     pub trace_sample: u64,
+    /// Telemetry sampling window: each shard captures its metric deltas
+    /// on this virtual-time grid, merged post-run into
+    /// [`RackReport::timeline`] in `(window, shard)` order — so the
+    /// timeline is byte-identical at every worker count.
+    /// `SimDuration::ZERO` disables sampling.
+    pub timeline_window: SimDuration,
     /// Root seed; everything derives from it.
     pub seed: u64,
 }
@@ -85,6 +91,7 @@ impl RackConfig {
             faults: true,
             outage_fraction: 0.05,
             trace_sample: 4096,
+            timeline_window: SimDuration::from_micros(10),
             seed: 0x00d1_5a66,
         }
     }
@@ -248,6 +255,7 @@ struct RackShard {
     outages: Vec<HostOutage>,
     metrics: LocalMetrics,
     log: ShardEventLog,
+    sampler: ShardSampler,
 }
 
 impl RackShard {
@@ -264,6 +272,7 @@ impl RackShard {
             outages,
             metrics: LocalMetrics::new(),
             log: ShardEventLog::new(shard.0, cfg.trace_sample),
+            sampler: ShardSampler::new(shard.0, cfg.timeline_window),
         };
         // The shard owns its hosts' streams: all derive from the shard's
         // own (root_seed, shard_id)-split stream, never from a shared one.
@@ -700,6 +709,10 @@ impl ShardWorker for RackShard {
         }
         while let Some((t, event)) = self.queue.pop_before(ctx.epoch_end()) {
             self.clock.advance_to(t);
+            // Sample before handling: whatever this event increments is
+            // attributed to the window containing `t`. Event times are
+            // worker-count independent, so capture points are too.
+            self.sampler.tick(t.nanos(), &self.metrics);
             match event {
                 LocalEvent::Access { host } => self.access(ctx, t, host),
                 LocalEvent::Deliver { msg } => self.deliver(ctx, t, msg),
@@ -751,6 +764,10 @@ pub struct RackReport {
     pub trace_jsonl: String,
     /// Name-sorted `key=value` pairs of all nonzero counters.
     pub metrics_line: String,
+    /// Per-window counter/histogram timeline, merged from the per-shard
+    /// samplers in `(window, shard)` order. Empty when
+    /// [`RackConfig::timeline_window`] is zero.
+    pub timeline: Timeline,
 }
 
 impl RackReport {
@@ -850,33 +867,72 @@ pub fn run_rack(config: &RackConfig, workers: usize) -> RackReport {
     // so the minimum cross-shard latency is one small-message transfer.
     let min_latency = CostModel::paper_default().rdma.transfer(64);
     let epoch = min_latency;
-    let (shards, engine) = ShardedEngine::run(workers, shards, epoch, min_latency);
+    let (mut shards, engine) = ShardedEngine::run(workers, shards, epoch, min_latency);
 
     // Deterministic post-run: merge shard-local state in shard order.
     let mut merged = LocalMetrics::new();
     let mut logs = Vec::with_capacity(shards.len());
-    for shard in &shards {
+    let mut shard_windows = Vec::new();
+    let mut quiescence_failures: Vec<String> = Vec::new();
+    for shard in shards.iter_mut() {
         merged.merge_from(&shard.metrics);
         logs.push(shard.log.clone());
-        // Quiescence invariants, per host.
+        let sampler = std::mem::replace(
+            &mut shard.sampler,
+            ShardSampler::new(0, SimDuration::ZERO),
+        );
+        shard_windows.extend(sampler.finish(engine.horizon.nanos(), &shard.metrics));
+        // Quiescence invariants, per host. Failures are collected instead
+        // of asserted inline so a broken run can dump the flight recorder
+        // (recent trace events + metric windows) before panicking.
         for (host, state) in shard.hosts.iter() {
-            assert!(
-                state.done && state.issued == config.accesses_per_host,
-                "host {host} finished {}/{} accesses",
-                state.issued,
-                config.accesses_per_host
-            );
-            assert!(
-                state.pending_writes.is_empty(),
-                "host {host} ended with unacked writebacks"
-            );
-            assert!(
-                state.suspects.is_empty(),
-                "host {host} ended with unresolved suspects {:?}",
-                state.suspects
-            );
-            assert!(state.inflight.is_none(), "host {host} ended mid-fault");
+            if !(state.done && state.issued == config.accesses_per_host) {
+                quiescence_failures.push(format!(
+                    "host {host} finished {}/{} accesses",
+                    state.issued, config.accesses_per_host
+                ));
+            }
+            if !state.pending_writes.is_empty() {
+                quiescence_failures.push(format!("host {host} ended with unacked writebacks"));
+            }
+            if !state.suspects.is_empty() {
+                quiescence_failures.push(format!(
+                    "host {host} ended with unresolved suspects {:?}",
+                    state.suspects
+                ));
+            }
+            if state.inflight.is_some() {
+                quiescence_failures.push(format!("host {host} ended mid-fault"));
+            }
         }
+    }
+    let timeline = Timeline::merge_shards(config.timeline_window.as_nanos(), shard_windows);
+    if !quiescence_failures.is_empty() {
+        // Recent merged trace events in canonical (at_ns, shard, seq)
+        // order, plus the last metric windows — same dump format the
+        // chaos harness emits on invariant violations.
+        let mut events: Vec<_> = shards
+            .iter()
+            .flat_map(|s| s.log.events().iter().map(|e| (e.at_ns, s.shard.0, e)))
+            .collect();
+        events.sort_by_key(|(at, shard, e)| (*at, *shard, e.seq));
+        let mut recorder = FlightRecorder::new();
+        for (at, shard, event) in events {
+            recorder.note(
+                at,
+                event.kind,
+                format!("shard={shard} host={} detail={}", event.host, event.detail),
+            );
+        }
+        for window in &timeline.windows {
+            recorder.push_window(window);
+        }
+        eprintln!("{}", recorder.dump("rack quiescence assert"));
+        panic!(
+            "rack run ended unquiesced ({} failures): {}",
+            quiescence_failures.len(),
+            quiescence_failures.join("; ")
+        );
     }
 
     let metrics_line = merged
@@ -906,6 +962,7 @@ pub fn run_rack(config: &RackConfig, workers: usize) -> RackReport {
         digest,
         trace_jsonl: ShardEventLog::merge_to_jsonl(&logs),
         metrics_line,
+        timeline,
     }
 }
 
@@ -935,11 +992,17 @@ mod tests {
         let base = run_rack(&cfg, 1);
         assert!(base.cross_messages > 0, "vacuous: no cross-shard traffic");
         assert!(base.remote_reads > 0, "vacuous: no remote faults");
+        assert!(!base.timeline.windows.is_empty(), "vacuous: no timeline");
         for workers in [2, 4] {
             let other = run_rack(&cfg, workers);
             assert_eq!(base.csv_row(), other.csv_row(), "workers={workers}");
             assert_eq!(base.metrics_line, other.metrics_line, "workers={workers}");
             assert_eq!(base.trace_jsonl, other.trace_jsonl, "workers={workers}");
+            assert_eq!(
+                base.timeline.to_csv(),
+                other.timeline.to_csv(),
+                "workers={workers}"
+            );
         }
     }
 
