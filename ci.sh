@@ -146,6 +146,30 @@ step "ext_llm_serving smoke (golden CSV)" sh -c '
 step "ext_llm_serving perf smoke (3x tolerance)" \
     cargo run --release --quiet -p dmem-bench --bin ext_llm_serving -- --perf --check results/BENCH_llm_baseline.json
 
+# Object-allocator smoke: the reduced granularity sweep must be
+# byte-identical to the committed golden CSV, and the binary
+# self-asserts the amplification acceptance gate (the page path moves
+# >= 10x the fabric bytes of the object path on uniform-small) —
+# nonzero exit otherwise.
+step "ext_obj_alloc smoke (golden CSV + 10x gate)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin ext_obj_alloc -- --smoke > /dev/null
+    git diff --exit-code -- results/ext_obj_alloc_smoke.csv
+'
+
+# Object-allocator perf smoke: wall-clock of both granularities against
+# the committed baseline with the same gross 3x tolerance as perf.rs.
+step "ext_obj_alloc perf smoke (3x tolerance)" \
+    cargo run --release --quiet -p dmem-bench --bin ext_obj_alloc -- --perf --check results/BENCH_alloc_baseline.json
+
+# dmem_top --alloc: the object-allocator report is pinned byte-for-byte
+# by the dmem_top_alloc_golden test; regenerate the fixture here so
+# drift shows up as a git diff in CI logs too.
+step "dmem_top --alloc (golden report)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin dmem_top -- --alloc \
+        > results/dmem_top_alloc.txt
+    git diff --exit-code -- results/dmem_top_alloc.txt
+'
+
 # dmem_top --kv: the tiered-KV occupancy report is pinned byte-for-byte
 # by the dmem_top_kv_golden test; regenerate the fixture here so drift
 # shows up as a git diff in CI logs too.

@@ -33,8 +33,14 @@
 //! deterministic alert log: burn-rate / retry-storm / suspect-churn
 //! firing and resolved edges with their FNV digest.
 //!
+//! `--alloc` instead replays one deterministic object-heap schedule at
+//! both backing granularities and prints the allocator's amplification
+//! and fragmentation accounting plus the armed `alloc.*` counter
+//! family — `top` for the far-memory heap. Pinned byte-for-byte by
+//! `results/dmem_top_alloc.txt`.
+//!
 //! `--all` runs every section in one pass — qos report, KV report,
-//! timeline, alerts — and is pinned byte-for-byte by
+//! timeline, alerts, allocator — and is pinned byte-for-byte by
 //! `results/dmem_top_all.txt`.
 //!
 //! `--check-trace FILE` instead validates a previously exported
@@ -46,7 +52,7 @@ use dmem_bench::TelemetryArgs;
 use dmem_core::DisaggregatedMemory;
 use dmem_kv::{LlmCostModel, SpillPolicy, TieredKvConfig, TieredKvEngine};
 use dmem_qos::{QosConfig, QosEngine, TenantSpec};
-use dmem_sim::{jsonlite, sparkline, SimDuration};
+use dmem_sim::{jsonlite, sparkline, DetRng, SimDuration};
 use memory_disaggregation::chaos::{run_seed, ChaosSettings};
 use memory_disaggregation::rack::{run_rack, RackConfig};
 use memory_disaggregation::sim::chaos::ChaosConfig;
@@ -373,6 +379,100 @@ fn run_alerts_report() -> String {
     out
 }
 
+/// The `--alloc` report: the same DetRng schedule replayed through an
+/// [`ObjectHeap`] at object and page backing granularity, reduced to
+/// the allocator's amplification / fragmentation accounting plus the
+/// armed `alloc.*` counter family — `top` for the far-memory heap.
+fn run_alloc_report() -> String {
+    use memory_disaggregation::alloc::{Granularity, HeapConfig, ObjectHeap};
+
+    const OPS: usize = 160;
+    let run = |granularity: Granularity| {
+        let mut config = dmem_types::ClusterConfig::small();
+        // Exact byte accounting: stored length equals framed length.
+        config.compression = CompressionMode::Off;
+        let dm = std::sync::Arc::new(DisaggregatedMemory::new(config).unwrap());
+        let server = dm.servers()[0];
+        let mut heap = ObjectHeap::new(dm.clone(), server, HeapConfig::new(granularity));
+        heap.arm_telemetry(dm.metrics());
+        let mut rng = DetRng::new(0xa110c).fork("dmem_top.alloc");
+        let mut live: Vec<u64> = Vec::new();
+        for op in 0..OPS {
+            let roll = rng.unit();
+            if live.is_empty() || roll < 0.45 {
+                let len = match rng.below(8) {
+                    0..=4 => 16 + rng.below(240),
+                    5..=6 => 256 + rng.below(1792),
+                    _ => 4097 + rng.below(8192),
+                };
+                let data: Vec<u8> =
+                    (0..len).map(|i| (op as u8).wrapping_add(i as u8)).collect();
+                live.push(heap.alloc(&data).unwrap());
+            } else if roll < 0.60 {
+                let idx = rng.below(live.len());
+                heap.free(live.swap_remove(idx)).unwrap();
+            } else {
+                let addr = live[rng.below(live.len())];
+                heap.get(addr).unwrap();
+            }
+        }
+        (heap.stats(), dm)
+    };
+
+    let (obj_stats, obj_dm) = run(Granularity::Object);
+    let (page_stats, _page_dm) = run(Granularity::Page);
+
+    let mut out = String::new();
+    writeln!(out, "dmem-top — object allocator (virtual time)").unwrap();
+    writeln!(
+        out,
+        "run: DetRng 0xa110c, {OPS} ops, object vs page backing on one server"
+    )
+    .unwrap();
+    writeln!(out, "
+heap accounting:").unwrap();
+    writeln!(
+        out,
+        "  {:<8} {:>12} {:>12} {:>12} {:>8} {:>9} {:>9}",
+        "backing", "live", "slot", "reserved", "amp", "int frag", "tot frag"
+    )
+    .unwrap();
+    for stats in [&obj_stats, &page_stats] {
+        writeln!(
+            out,
+            "  {:<8} {:>12} {:>12} {:>12} {:>7.2}x {:>8.1}% {:>8.1}%",
+            stats.granularity.label(),
+            ByteSize::new(stats.live_bytes).to_string(),
+            ByteSize::new(stats.slot_bytes).to_string(),
+            ByteSize::new(stats.reserved_bytes).to_string(),
+            stats.amplification(),
+            stats.internal_frag_pct(),
+            stats.total_frag_pct(),
+        )
+        .unwrap();
+    }
+
+    writeln!(out, "
+alloc.* counters (object heap, armed registry):").unwrap();
+    for (name, value) in obj_dm.metrics().counter_snapshot() {
+        if name.starts_with("alloc.") {
+            writeln!(out, "  {name:<28} {value:>12}").unwrap();
+        }
+    }
+    for (name, value) in obj_dm.metrics().gauge_snapshot() {
+        if name.starts_with("alloc.") {
+            writeln!(out, "  {name:<28} {value:>12}").unwrap();
+        }
+    }
+    writeln!(
+        out,
+        "ops: alloc {} / free {} / get {} / update {}",
+        obj_stats.ops.alloc, obj_stats.ops.free, obj_stats.ops.get, obj_stats.ops.update
+    )
+    .unwrap();
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--check-trace") {
@@ -395,6 +495,7 @@ fn main() -> ExitCode {
     let kv = args.iter().any(|a| a == "--kv");
     let timeline = args.iter().any(|a| a == "--timeline");
     let alerts = args.iter().any(|a| a == "--alerts");
+    let alloc = args.iter().any(|a| a == "--alloc");
     let all = args.iter().any(|a| a == "--all");
     let telemetry = TelemetryArgs::parse(args.into_iter());
     let report = if all {
@@ -406,12 +507,15 @@ fn main() -> ExitCode {
             run_kv_report(),
             run_timeline_report(),
             run_alerts_report(),
+            run_alloc_report(),
         ]
         .join("\n")
     } else if timeline {
         run_timeline_report()
     } else if alerts {
         run_alerts_report()
+    } else if alloc {
+        run_alloc_report()
     } else if kv {
         run_kv_report()
     } else {

@@ -1,8 +1,9 @@
 //! Golden-file test for `dmem_top --all` (ISSUE 8, observability).
 //!
 //! `--all` concatenates every report section in one pass — the traced
-//! qos report, the tiered-KV report, the rack timeline sparklines, and
-//! the chaos alert log. Each section runs entirely on the virtual
+//! qos report, the tiered-KV report, the rack timeline sparklines, the
+//! chaos alert log, and the object-allocator report. Each section runs
+//! entirely on the virtual
 //! clock, so the combined output is byte-identical across machines,
 //! build profiles, worker counts and reruns. This test pins it against
 //! a committed fixture; any intentional change must regenerate it:
@@ -56,6 +57,8 @@ fn all_report_matches_committed_fixture() {
         "chaos alert log",
         "FIRING retry-backoff-burn",
         "FIRING retry-storm",
+        "object allocator",
+        "alloc.amplification_bytes",
     ] {
         assert!(actual.contains(marker), "--all report lacks {marker:?}");
     }

@@ -1,0 +1,62 @@
+//! Golden-file test for `dmem_top --alloc` (ISSUE 9, object allocator).
+//!
+//! The allocator report — heap accounting rows at object and page
+//! granularity plus the armed `alloc.*` counter family — replays one
+//! DetRng schedule entirely on the virtual clock, so its output is
+//! byte-identical across machines, build profiles and reruns. This
+//! test pins the whole report against a committed fixture; any
+//! intentional change must regenerate it:
+//!
+//! ```sh
+//! cargo run --release -q -p dmem-bench --bin dmem_top -- --alloc \
+//!     > results/dmem_top_alloc.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn alloc_report_matches_committed_fixture() {
+    let fixture_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/dmem_top_alloc.txt");
+    let expected = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture_path.display()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_dmem_top"))
+        .arg("--alloc")
+        .output()
+        .expect("run dmem_top --alloc");
+    assert!(
+        output.status.success(),
+        "dmem_top --alloc exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = String::from_utf8(output.stdout).expect("report is UTF-8");
+
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "report diverges from fixture at line {}", i + 1);
+        }
+        panic!(
+            "report and fixture differ in length: {} vs {} bytes \
+             (regenerate results/dmem_top_alloc.txt if the change is intended)",
+            actual.len(),
+            expected.len()
+        );
+    }
+
+    // Structural spot-checks so the fixture cannot silently pin a
+    // degenerate report: both granularity rows present, the armed
+    // counter family non-trivial.
+    for marker in [
+        "dmem-top — object allocator",
+        "heap accounting:",
+        "  object ",
+        "  page ",
+        "alloc.amplification_bytes",
+        "alloc.fragmentation_bp",
+    ] {
+        assert!(actual.contains(marker), "--alloc report lacks {marker:?}");
+    }
+}

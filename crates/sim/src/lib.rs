@@ -64,7 +64,10 @@ pub use clock::{ShardClock, SimClock};
 pub use cost::{CostModel, DeviceCost};
 pub use events::EventQueue;
 pub use failure::{FailureEvent, FailureInjector};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, LocalMetrics, MetricsRegistry};
+pub use metrics::{
+    AllocCounterSet, AllocTelemetry, Counter, Gauge, Histogram, HistogramSummary, LocalMetrics,
+    MetricsRegistry,
+};
 pub use rng::{splitmix64, DetRng};
 pub use shard::{
     merge_envelopes, shard_rng, EngineReport, Envelope, EpochCtx, ShardId, ShardMap, ShardWorker,

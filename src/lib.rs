@@ -33,6 +33,7 @@
 //! | Crate | Role |
 //! |---|---|
 //! | [`types`] | ids, sizes, errors, configuration |
+//! | [`alloc`] | object-granularity far-memory heap (size-class allocator) |
 //! | [`sim`] | virtual clock, device cost models, failure injection |
 //! | [`net`] | simulated RDMA verbs, connection management, batching |
 //! | [`compress`] | LZ page codec, size classes, zswap baseline |
@@ -51,6 +52,7 @@
 pub mod chaos;
 pub mod rack;
 
+pub use dmem_alloc as alloc;
 pub use dmem_cluster as cluster;
 pub use dmem_compress as compress;
 pub use dmem_kv as kv;
