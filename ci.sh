@@ -161,6 +161,42 @@ step "ext_obj_alloc smoke (golden CSV + 10x gate)" sh -c '
 step "ext_obj_alloc perf smoke (3x tolerance)" \
     cargo run --release --quiet -p dmem-bench --bin ext_obj_alloc -- --perf --check results/BENCH_alloc_baseline.json
 
+# Crossover smoke: the reduced RDMA/CXL/NVM sweep must be byte-identical
+# to the committed golden CSV, and the binary self-asserts the §VI
+# three-way split (every transport wins at least one working-set x
+# granularity cell) — nonzero exit otherwise.
+step "ext_crossover smoke (golden CSV + three-way gate)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin ext_crossover -- --smoke > /dev/null
+    git diff --exit-code -- results/ext_crossover_smoke.csv
+'
+
+# Crossover perf smoke: wall-clock of the page-granularity column on all
+# three transports against the committed baseline, same 3x tolerance.
+step "ext_crossover perf smoke (3x tolerance)" \
+    cargo run --release --quiet -p dmem-bench --bin ext_crossover -- --perf --check results/BENCH_cxl_baseline.json
+
+# The chaos sweep with the CXL pool tier armed: pool-node outage windows
+# and remote atomics on every seed, judged by the shadow-read and
+# atomics-exact invariants on top of the originals. Run at --jobs 1 vs
+# --jobs 4 and diffed — outages, failover reads, atomic sums and the
+# cxl.* metric digests must be byte-identical regardless of fan-out.
+step "cxl chaos smoke (seeds 0..32, --jobs 1 vs 4 determinism gate)" sh -c '
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --cxl --jobs 1 \
+        > target/chaos_cxl_a.txt
+    cargo run --release --quiet --bin chaos -- --seeds 0..32 --cxl --jobs 4 \
+        > target/chaos_cxl_b.txt
+    diff target/chaos_cxl_a.txt target/chaos_cxl_b.txt
+'
+
+# dmem_top --cxl: the CXL pool report is pinned byte-for-byte by the
+# dmem_top_cxl_golden test; regenerate the fixture here so drift shows
+# up as a git diff in CI logs too.
+step "dmem_top --cxl (golden report)" sh -c '
+    cargo run --release --quiet -p dmem-bench --bin dmem_top -- --cxl \
+        > results/dmem_top_cxl.txt
+    git diff --exit-code -- results/dmem_top_cxl.txt
+'
+
 # dmem_top --alloc: the object-allocator report is pinned byte-for-byte
 # by the dmem_top_alloc_golden test; regenerate the fixture here so
 # drift shows up as a git diff in CI logs too.
@@ -180,8 +216,9 @@ step "dmem_top --kv (golden report)" sh -c '
 '
 
 # dmem_top --all: the combined one-pass report (traced qos + tiered KV +
-# rack timeline sparklines + chaos alert log) is pinned byte-for-byte by
-# the dmem_top_all_golden test; regenerate here so drift shows in CI logs.
+# rack timeline sparklines + chaos alert log + allocator + CXL pool) is
+# pinned byte-for-byte by the dmem_top_all_golden test; regenerate here
+# so drift shows in CI logs.
 step "dmem_top --all (golden report)" sh -c '
     cargo run --release --quiet -p dmem-bench --bin dmem_top -- --all \
         > results/dmem_top_all.txt

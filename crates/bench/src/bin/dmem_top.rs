@@ -39,9 +39,16 @@
 //! family — `top` for the far-memory heap. Pinned byte-for-byte by
 //! `results/dmem_top_alloc.txt`.
 //!
+//! `--cxl` instead drives one deterministic schedule through the CXL
+//! pooled-memory tier — PGAS puts, remote fetch-add/CAS cells, a
+//! pool-node outage window replayed against the disk shadow — and
+//! prints per-pool-node occupancy, the atomic cells, and the armed
+//! `cxl.*` counter family. Pinned byte-for-byte by
+//! `results/dmem_top_cxl.txt`.
+//!
 //! `--all` runs every section in one pass — qos report, KV report,
-//! timeline, alerts, allocator — and is pinned byte-for-byte by
-//! `results/dmem_top_all.txt`.
+//! timeline, alerts, allocator, CXL pool — and is pinned byte-for-byte
+//! by `results/dmem_top_all.txt`.
 //!
 //! `--check-trace FILE` instead validates a previously exported
 //! Chrome-trace JSON: it must parse, be shaped like the trace-event
@@ -49,7 +56,7 @@
 //! by `ci.sh` to gate the traced fig4 artifact. Exits nonzero on failure.
 
 use dmem_bench::TelemetryArgs;
-use dmem_core::DisaggregatedMemory;
+use dmem_core::{DisaggregatedMemory, TierPreference};
 use dmem_kv::{LlmCostModel, SpillPolicy, TieredKvConfig, TieredKvEngine};
 use dmem_qos::{QosConfig, QosEngine, TenantSpec};
 use dmem_sim::{jsonlite, sparkline, DetRng, SimDuration};
@@ -57,7 +64,7 @@ use memory_disaggregation::chaos::{run_seed, ChaosSettings};
 use memory_disaggregation::rack::{run_rack, RackConfig};
 use memory_disaggregation::sim::chaos::ChaosConfig;
 use dmem_swap::{build_system_with_pages, SwapScale, SystemKind};
-use dmem_types::{ByteSize, CompressionMode, DistributionRatio};
+use dmem_types::{ByteSize, CompressionMode, CxlPoolConfig, DistributionRatio};
 use dmem_workloads::{catalog, ConversationConfig, ConversationStream, TraceConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -473,6 +480,128 @@ alloc.* counters (object heap, armed registry):").unwrap();
     out
 }
 
+/// The `--cxl` report: one DetRng schedule against the CXL pooled
+/// tier — PGAS puts through `TierPreference::Cxl`, a handful of remote
+/// fetch-add / CAS cells, then a pool-node outage window replayed
+/// against the write-behind disk shadow — reduced to per-pool-node
+/// occupancy, the atomic cells and the `cxl.*` counter family.
+fn run_cxl_report() -> String {
+    const PUTS: u64 = 48;
+    const SLOTS: usize = 3;
+    const OUTAGE_NODE: u16 = 1;
+
+    let mut config = dmem_types::ClusterConfig::small();
+    // Exact byte accounting in the occupancy rows: stored length equals
+    // framed length, no compression residue.
+    config.compression = CompressionMode::Off;
+    config.cxl = CxlPoolConfig::new(4, ByteSize::from_kib(256));
+    let dm = std::sync::Arc::new(DisaggregatedMemory::new(config).unwrap());
+    let server = dm.servers()[0];
+    let pool = dm.cxl_pool().expect("cxl tier enabled").clone();
+
+    // Deterministic payloads: the outage replay re-reads every key and
+    // verifies the shadow copy byte-for-byte.
+    let payload = |key: u64, len: usize| -> Vec<u8> {
+        (0..len)
+            .map(|i| (key.wrapping_mul(0x9e37).wrapping_add(i as u64) >> 5) as u8)
+            .collect()
+    };
+    let mut rng = DetRng::new(0xc81).fork("dmem_top.cxl");
+    let mut lens: Vec<usize> = Vec::new();
+    for key in 0..PUTS {
+        let len = match rng.below(4) {
+            0 => 64 + rng.below(192),
+            1..=2 => 512 + rng.below(1536),
+            _ => 4096 + rng.below(4096),
+        };
+        dm.put_pref(server, key, payload(key, len), TierPreference::Cxl)
+            .unwrap();
+        lens.push(len);
+    }
+
+    // Remote atomics: a few counter cells hammered with fetch-adds,
+    // then one CAS handoff on slot 0.
+    let cells: Vec<_> = (0..SLOTS)
+        .map(|slot| pool.alloc_counter(0x510_7000 ^ slot as u64).unwrap())
+        .collect();
+    for _ in 0..24 {
+        let slot = rng.below(SLOTS);
+        pool.fetch_add(cells[slot], 1 + rng.below(9) as u64).unwrap();
+    }
+    let observed = pool.counter_value(cells[0]).unwrap();
+    let swapped = pool.cas(cells[0], observed, observed * 2).unwrap() == observed;
+
+    // Outage window: every read still lands (shadow failover), byte-exact.
+    pool.set_pool_node_down(OUTAGE_NODE);
+    for key in 0..PUTS {
+        let got = dm.get(server, key).unwrap();
+        assert_eq!(got, payload(key, lens[key as usize]), "shadow read at key {key}");
+    }
+    let shadow_reads = dm.metrics().counter("cxl.failover.reads").get();
+    pool.set_pool_node_up(OUTAGE_NODE);
+
+    let mut out = String::new();
+    writeln!(out, "dmem-top — CXL memory pool (virtual time)").unwrap();
+    writeln!(
+        out,
+        "run: DetRng 0xc81, {PUTS} PGAS puts, {SLOTS} atomic cells, pool-{OUTAGE_NODE} outage replay"
+    )
+    .unwrap();
+
+    writeln!(out, "\ncxl pool (occupancy):").unwrap();
+    for (node, used, down) in pool.occupancy() {
+        writeln!(
+            out,
+            "  pool-{node}  {:>12} of {:>12}  {}",
+            ByteSize::new(used).to_string(),
+            pool.capacity_per_node().to_string(),
+            if down { "DOWN" } else { "up" }
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  {:>6}  {:>12} of {:>12}",
+        "total",
+        pool.used_total().to_string(),
+        ByteSize::new(pool.capacity_per_node().as_u64() * u64::from(pool.pool_nodes()))
+            .to_string()
+    )
+    .unwrap();
+
+    writeln!(out, "\nremote atomics:").unwrap();
+    for (slot, addr) in cells.iter().enumerate() {
+        writeln!(
+            out,
+            "  slot {slot}  pool-{}  value {:>4}  rmw ops {:>3}",
+            addr.pool_node(),
+            pool.counter_value(*addr).unwrap(),
+            pool.counter_ops(*addr)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "  cas handoff on slot 0: {}",
+        if swapped { "installed" } else { "lost the race" }
+    )
+    .unwrap();
+
+    writeln!(
+        out,
+        "\noutage replay: {PUTS} reads during pool-{OUTAGE_NODE} outage, {shadow_reads} served from the disk shadow, all byte-exact"
+    )
+    .unwrap();
+
+    writeln!(out, "\ncxl.* counters (registry):").unwrap();
+    for (name, value) in dm.metrics().counter_snapshot() {
+        if name.starts_with("cxl.") {
+            writeln!(out, "  {name:<28} {value:>12}").unwrap();
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--check-trace") {
@@ -496,6 +625,7 @@ fn main() -> ExitCode {
     let timeline = args.iter().any(|a| a == "--timeline");
     let alerts = args.iter().any(|a| a == "--alerts");
     let alloc = args.iter().any(|a| a == "--alloc");
+    let cxl = args.iter().any(|a| a == "--cxl");
     let all = args.iter().any(|a| a == "--all");
     let telemetry = TelemetryArgs::parse(args.into_iter());
     let report = if all {
@@ -508,6 +638,7 @@ fn main() -> ExitCode {
             run_timeline_report(),
             run_alerts_report(),
             run_alloc_report(),
+            run_cxl_report(),
         ]
         .join("\n")
     } else if timeline {
@@ -516,6 +647,8 @@ fn main() -> ExitCode {
         run_alerts_report()
     } else if alloc {
         run_alloc_report()
+    } else if cxl {
+        run_cxl_report()
     } else if kv {
         run_kv_report()
     } else {

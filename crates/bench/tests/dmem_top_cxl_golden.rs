@@ -1,0 +1,68 @@
+//! Golden-file test for `dmem_top --cxl` (ISSUE 10, CXL pooled tier).
+//!
+//! The CXL report — per-pool-node occupancy, the remote atomic cells,
+//! the outage replay against the disk shadow and the armed `cxl.*`
+//! counter family — replays one DetRng schedule entirely on the
+//! virtual clock, so its output is byte-identical across machines,
+//! build profiles and reruns. This test pins the whole report against
+//! a committed fixture; any intentional change must regenerate it:
+//!
+//! ```sh
+//! cargo run --release -q -p dmem-bench --bin dmem_top -- --cxl \
+//!     > results/dmem_top_cxl.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn cxl_report_matches_committed_fixture() {
+    let fixture_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/dmem_top_cxl.txt");
+    let expected = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture_path.display()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_dmem_top"))
+        .arg("--cxl")
+        .output()
+        .expect("run dmem_top --cxl");
+    assert!(
+        output.status.success(),
+        "dmem_top --cxl exited with {:?}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let actual = String::from_utf8(output.stdout).expect("report is UTF-8");
+
+    if actual != expected {
+        for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(a, e, "report diverges from fixture at line {}", i + 1);
+        }
+        panic!(
+            "report and fixture differ in length: {} vs {} bytes \
+             (regenerate results/dmem_top_cxl.txt if the change is intended)",
+            actual.len(),
+            expected.len()
+        );
+    }
+
+    // Structural spot-checks so the fixture cannot silently pin a
+    // degenerate report: every pool node listed, the outage actually
+    // exercised the shadow path, atomics non-trivial.
+    for marker in [
+        "dmem-top — CXL memory pool",
+        "cxl pool (occupancy):",
+        "  pool-0",
+        "  pool-3",
+        "remote atomics:",
+        "cas handoff on slot 0: installed",
+        "cxl.failover.reads",
+        "cxl.atomic.ops",
+    ] {
+        assert!(actual.contains(marker), "--cxl report lacks {marker:?}");
+    }
+    assert!(
+        !actual.contains(" 0 served from the disk shadow"),
+        "outage replay produced no shadow reads"
+    );
+}

@@ -56,6 +56,23 @@ impl DiskTier {
             .insert(entry, data);
     }
 
+    /// Writes `data` for `entry` on `node`'s disk **without charging the
+    /// device on the foreground clock** — the write-behind path used for
+    /// the CXL tier's shadow copies. The put completes at pool speed;
+    /// the flush happens off the critical path, overlapping later
+    /// foreground work (which the virtual clock models as free), and the
+    /// copy is only ever read on the slow failover path, which does pay
+    /// the full device cost.
+    pub fn store_behind(&self, node: NodeId, entry: EntryId, data: Vec<u8>) {
+        let span = self.clock.tracer().span(self.label, "store_behind");
+        span.tag("bytes", data.len());
+        self.disks
+            .lock()
+            .entry(node)
+            .or_default()
+            .insert(entry, data);
+    }
+
     /// Writes a batch in one sequential disk operation (single seek).
     pub fn store_batch(&self, node: NodeId, batch: Vec<(EntryId, Vec<u8>)>) {
         let total: usize = batch.iter().map(|(_, d)| d.len()).sum();

@@ -8,9 +8,13 @@
 //! entry lives. A `put` tiers through
 //!
 //! 1. the **node shared memory pool** (DRAM speed),
-//! 2. **remote memory** in the owner's group, triple-replicated over the
+//! 2. the **CXL memory pool** when configured — cacheline load/store far
+//!    memory one switch hop away, with a write-behind disk shadow for
+//!    pool-node loss,
+//! 3. local **NVM** when configured (the §VI extension tier),
+//! 4. **remote memory** in the owner's group, triple-replicated over the
 //!    simulated RDMA fabric,
-//! 3. local **disk**, the last resort,
+//! 5. local **disk**, the last resort,
 //!
 //! and a `get` follows the map back, failing over across replicas and
 //! verifying integrity end to end. Pages are transparently compressed into

@@ -81,15 +81,16 @@ impl MemoryMap {
         false
     }
 
-    /// Counts entries by tier: `(node_shared, nvm, remote, disk)`.
-    pub fn tier_census(&self) -> (usize, usize, usize, usize) {
-        let mut census = (0, 0, 0, 0);
+    /// Counts entries by tier: `(node_shared, nvm, remote, cxl, disk)`.
+    pub fn tier_census(&self) -> (usize, usize, usize, usize, usize) {
+        let mut census = (0, 0, 0, 0, 0);
         for record in self.entries.values() {
             match record.location {
                 EntryLocation::NodeShared { .. } => census.0 += 1,
                 EntryLocation::Nvm => census.1 += 1,
                 EntryLocation::Remote { .. } => census.2 += 1,
-                EntryLocation::Disk => census.3 += 1,
+                EntryLocation::Cxl { .. } => census.3 += 1,
+                EntryLocation::Disk => census.4 += 1,
             }
         }
         census
@@ -104,10 +105,10 @@ impl MemoryMap {
 
 impl fmt::Display for MemoryMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (shared, nvm, remote, disk) = self.tier_census();
+        let (shared, nvm, remote, cxl, disk) = self.tier_census();
         write!(
             f,
-            "map: {} entries ({shared} shared, {nvm} nvm, {remote} remote, {disk} disk)",
+            "map: {} entries ({shared} shared, {nvm} nvm, {remote} remote, {cxl} cxl, {disk} disk)",
             self.len()
         )
     }
@@ -156,7 +157,8 @@ mod tests {
         );
         map.upsert(3, record(EntryLocation::Disk));
         map.upsert(4, record(EntryLocation::Nvm));
-        assert_eq!(map.tier_census(), (1, 1, 1, 1));
+        map.upsert(5, record(EntryLocation::Cxl { addr: 0x40 }));
+        assert_eq!(map.tier_census(), (1, 1, 1, 1, 1));
         assert!(!map.to_string().is_empty());
     }
 

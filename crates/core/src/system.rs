@@ -7,7 +7,7 @@ use dmem_cluster::{
     RemoteStore, Replicator,
 };
 use dmem_compress::{CompressMemo, CompressedPage, PageCodec};
-use dmem_net::{Fabric, ShardRouter};
+use dmem_net::{CxlAddr, CxlPool, Fabric, ShardRouter};
 use dmem_node::NodeManager;
 use dmem_qos::{AdmitDecision, ControlAction, QosEngine, ResidentTier, Victim};
 use dmem_sim::shard::ShardMap;
@@ -33,6 +33,9 @@ pub enum TierPreference {
     /// Local byte-addressable NVM (the §VI extension tier); spills to
     /// disk when the NVM pool is full or absent.
     Nvm,
+    /// The CXL pooled-memory tier (load/store far memory behind a
+    /// switch); spills to disk when the pool is full, down, or absent.
+    Cxl,
     /// Remote cluster memory only (the FS-RDMA configuration of Fig. 8).
     Remote,
     /// Local disk only (the Linux-baseline path).
@@ -48,6 +51,8 @@ pub struct DmStats {
     pub shared: usize,
     /// Entries in local NVM.
     pub nvm: usize,
+    /// Entries in the CXL pooled-memory tier.
+    pub cxl: usize,
     /// Entries in remote cluster memory.
     pub remote: usize,
     /// Entries spilled to disk.
@@ -75,6 +80,10 @@ pub struct DisaggregatedMemory {
     disk: DiskTier,
     nvm: DiskTier,
     nvm_used: Mutex<HashMap<NodeId, u64>>,
+    /// The CXL memory pool, present only when `ClusterConfig::cxl`
+    /// enables it — absent, no `cxl.*` metric keys exist and the tiering
+    /// order is exactly the pre-CXL one.
+    cxl: Option<Arc<CxlPool>>,
     codec: PageCodec,
     /// Byte-guarded compressed-page memo keyed by `(server, key)`. Hits
     /// skip the LZ matcher; the simulated compression cost is charged
@@ -143,6 +152,16 @@ impl DisaggregatedMemory {
         let disk = DiskTier::new(clock.clone(), cost);
         let nvm = DiskTier::with_device_labeled(clock.clone(), cost.nvm, "nvm");
         let codec = PageCodec::new(config.compression);
+        let metrics = MetricsRegistry::new();
+        let cxl = config.cxl.enabled().then(|| {
+            Arc::new(CxlPool::new(
+                clock.clone(),
+                cost,
+                metrics.clone(),
+                config.cxl.pool_nodes as u16,
+                config.cxl.capacity_per_node,
+            ))
+        });
 
         let maps = servers
             .iter()
@@ -164,11 +183,12 @@ impl DisaggregatedMemory {
             disk,
             nvm,
             nvm_used: Mutex::new(HashMap::new()),
+            cxl,
             codec,
             compress_memo: Mutex::new(CompressMemo::with_default_capacity()),
             maps: Mutex::new(maps),
             servers,
-            metrics: MetricsRegistry::new(),
+            metrics,
             qos: OnceLock::new(),
             sharding: OnceLock::new(),
             telemetry: OnceLock::new(),
@@ -435,6 +455,7 @@ impl DisaggregatedMemory {
         let tier = match location {
             EntryLocation::NodeShared { .. } => ResidentTier::Shared(node),
             EntryLocation::Nvm => ResidentTier::Nvm(node),
+            EntryLocation::Cxl { .. } => ResidentTier::Cxl,
             EntryLocation::Remote { .. } => ResidentTier::Remote,
             EntryLocation::Disk => return,
         };
@@ -472,6 +493,13 @@ impl DisaggregatedMemory {
         ByteSize::new(self.nvm_used.lock().get(&node).copied().unwrap_or(0))
     }
 
+    /// The CXL memory pool, present when `ClusterConfig::cxl` enables it.
+    /// Remote atomics ([`CxlPool::fetch_add`], [`CxlPool::cas`]) and
+    /// pool-node outage control go through this handle.
+    pub fn cxl_pool(&self) -> Option<&Arc<CxlPool>> {
+        self.cxl.as_ref()
+    }
+
     /// The leader of `node`'s sharing group (§IV-C election).
     ///
     /// # Errors
@@ -499,6 +527,7 @@ impl DisaggregatedMemory {
             EntryLocation::NodeShared { .. } => "shared",
             EntryLocation::Remote { .. } => "remote",
             EntryLocation::Nvm => "nvm",
+            EntryLocation::Cxl { .. } => "cxl",
             EntryLocation::Disk => "disk",
         }
     }
@@ -608,6 +637,13 @@ impl DisaggregatedMemory {
                     }
                 }
             }
+            EntryLocation::Cxl { addr } => {
+                if let Some(pool) = &self.cxl {
+                    let _ = pool.free(CxlAddr::from_raw(*addr));
+                }
+                // The write-behind shadow goes with it.
+                let _ = self.disk.delete(entry.owner().node(), entry);
+            }
             EntryLocation::Disk => {
                 let _ = self.disk.delete(entry.owner().node(), entry);
             }
@@ -712,12 +748,26 @@ impl DisaggregatedMemory {
                         EntryLocation::Disk
                     }
                 },
+                TierPreference::Cxl => {
+                    match self.try_cxl(qos, tenant, node, entry, &stored) {
+                        Ok(loc) => loc,
+                        Err(_) => {
+                            self.disk.store(node, entry, stored.clone());
+                            self.metrics.counter("core.put.disk").inc();
+                            EntryLocation::Disk
+                        }
+                    }
+                }
                 _ => {
-                    // Auto continues down the hierarchy: local NVM (when
-                    // configured) absorbs the overflow before the network,
-                    // then remote memory in the owner's group, then disk.
+                    // Auto continues down the hierarchy: the CXL pool
+                    // (when configured) is the first stop past the node —
+                    // cacheline far memory one switch hop away — then
+                    // local NVM absorbs overflow before the network, then
+                    // remote memory in the owner's group, then disk.
                     let nvm = if pref == TierPreference::Auto {
-                        self.try_nvm(node, entry, &stored).ok()
+                        self.try_cxl(qos, tenant, node, entry, &stored)
+                            .or_else(|_| self.try_nvm(node, entry, &stored))
+                            .ok()
                     } else {
                         None
                     };
@@ -803,6 +853,47 @@ impl DisaggregatedMemory {
         Ok(EntryLocation::Nvm)
     }
 
+    /// Deterministic placement key of `entry` on the CXL ring: mixes the
+    /// owning server into the entry key so tenants spread across pool
+    /// nodes instead of clustering by key range.
+    fn cxl_key(entry: EntryId) -> u64 {
+        let (server_key, key) = Self::memo_key(entry);
+        server_key
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key)
+    }
+
+    /// Places `entry` in the CXL pool: ring placement, allocation, one
+    /// cacheline-granular store, and a write-behind shadow copy on the
+    /// owner's disk so pool-node loss degrades to disk instead of losing
+    /// the entry. Fabric bytes are metered against the tenant's QoS
+    /// token bucket, same as remote traffic.
+    fn try_cxl(
+        &self,
+        qos: Option<&Arc<QosEngine>>,
+        tenant: TenantId,
+        node: NodeId,
+        entry: EntryId,
+        stored: &[u8],
+    ) -> DmemResult<EntryLocation> {
+        let Some(pool) = &self.cxl else {
+            return Err(DmemError::Unsupported {
+                op: "cxl tier not configured".into(),
+            });
+        };
+        let addr = self.metered(qos, tenant, stored.len() as u64, || {
+            let addr = pool.alloc(Self::cxl_key(entry), stored.len())?;
+            if let Err(e) = pool.store(addr, stored) {
+                let _ = pool.free(addr);
+                return Err(e);
+            }
+            Ok(addr)
+        })?;
+        self.disk.store_behind(node, entry, stored.to_vec());
+        self.metrics.counter("core.put.cxl").inc();
+        Ok(EntryLocation::Cxl { addr: addr.raw() })
+    }
+
     fn try_remote(&self, node: NodeId, entry: EntryId, stored: &[u8]) -> DmemResult<EntryLocation> {
         let peers = self.group_peers(node)?;
         if let Some(m) = self.managers.get(&node) {
@@ -854,6 +945,27 @@ impl DisaggregatedMemory {
                 })?
             }
             EntryLocation::Nvm => self.nvm.load(server.node(), entry)?,
+            EntryLocation::Cxl { addr } => {
+                let pool = self.cxl.as_ref().ok_or(DmemError::Unsupported {
+                    op: "cxl tier not configured".into(),
+                })?;
+                let loaded = self.metered(qos, tenant, record.stored_len, || {
+                    pool.load(CxlAddr::from_raw(*addr))
+                });
+                match loaded {
+                    Ok(bytes) => bytes,
+                    Err(DmemError::CxlPoolNodeDown { .. }) => {
+                        // Pool-node outage: degrade to the write-behind
+                        // shadow on the owner's disk, paying the full
+                        // device cost. `recover` still checksums the
+                        // payload, so the failover path can never serve
+                        // wrong or stale bytes.
+                        self.metrics.counter("cxl.failover.reads").inc();
+                        self.disk.load(server.node(), entry)?
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
             EntryLocation::Disk => self.disk.load(server.node(), entry)?,
         };
         let out = self.recover(&record, stored);
@@ -1017,9 +1129,13 @@ impl DisaggregatedMemory {
                                 .upsert(key, record);
                         }
                         Err(_) if pref == TierPreference::Auto => {
-                            // Local NVM absorbs Auto overflow before the
-                            // network (no batching needed: it is local).
-                            if let Ok(loc) = self.try_nvm(node, entry, &stored) {
+                            // The CXL pool, then local NVM, absorb Auto
+                            // overflow before the network (no batching
+                            // needed: neither pays a per-verb base).
+                            if let Ok(loc) = self
+                                .try_cxl(qos, tenant, node, entry, &stored)
+                                .or_else(|_| self.try_nvm(node, entry, &stored))
+                            {
                                 record.location = loc;
                                 self.note_landed(
                                     qos,
@@ -1070,8 +1186,13 @@ impl DisaggregatedMemory {
                     }
                     remote_items.push((key, stored, record));
                 }
-                TierPreference::Nvm => {
-                    record.location = match self.try_nvm(node, entry, &stored) {
+                TierPreference::Nvm | TierPreference::Cxl => {
+                    let placed = if pref == TierPreference::Nvm {
+                        self.try_nvm(node, entry, &stored)
+                    } else {
+                        self.try_cxl(qos, tenant, node, entry, &stored)
+                    };
+                    record.location = match placed {
                         Ok(loc) => loc,
                         Err(_) => {
                             self.disk.store(node, entry, stored.clone());
@@ -1324,6 +1445,18 @@ impl DisaggregatedMemory {
         for (&server, map) in maps.iter_mut() {
             if server.node() == node {
                 purged += map.len();
+                // Release the restarted servers' CXL blocks (and their
+                // disk shadows): the maps are cleared wholesale below,
+                // bypassing `drop_location`, and leaked blocks would eat
+                // pool capacity forever.
+                if let Some(pool) = &self.cxl {
+                    for (key, record) in map.iter() {
+                        if let EntryLocation::Cxl { addr } = record.location {
+                            let _ = pool.free(CxlAddr::from_raw(addr));
+                            let _ = self.disk.delete(node, EntryId::new(server, key));
+                        }
+                    }
+                }
                 if let Some(engine) = self.qos.get() {
                     // The maps are cleared wholesale below, bypassing
                     // `drop_location`; credit residency entry by entry so
@@ -1348,11 +1481,12 @@ impl DisaggregatedMemory {
         let maps = self.maps.lock();
         let mut stats = DmStats::default();
         for map in maps.values() {
-            let (s, n, r, d) = map.tier_census();
+            let (s, n, r, c, d) = map.tier_census();
             stats.entries += map.len();
             stats.shared += s;
             stats.nvm += n;
             stats.remote += r;
+            stats.cxl += c;
             stats.disk += d;
         }
         for manager in self.managers.values() {
@@ -1681,6 +1815,120 @@ mod tests {
         let stats = dm.stats();
         assert_eq!(stats.nvm, 1);
         assert_eq!(stats.disk, 1);
+    }
+
+    fn cxl_system(pool_nodes: usize, cap: ByteSize) -> DisaggregatedMemory {
+        let mut config = ClusterConfig::small();
+        config.cxl = dmem_types::CxlPoolConfig::new(pool_nodes, cap);
+        config.compression = CompressionMode::Off;
+        DisaggregatedMemory::new(config).unwrap()
+    }
+
+    #[test]
+    fn cxl_tier_roundtrip_capacity_and_stats() {
+        // One pool node so capacity arithmetic is placement-independent.
+        let dm = cxl_system(1, ByteSize::from_kib(16));
+        let server = dm.servers()[0];
+        for k in 1..=4u64 {
+            dm.put_pref(server, k, vec![k as u8; 4096], TierPreference::Cxl)
+                .unwrap();
+            assert!(dm.record(server, k).unwrap().location.is_cxl());
+        }
+        let pool = dm.cxl_pool().expect("configured");
+        assert_eq!(pool.used_total(), ByteSize::from_kib(16));
+        // Pool full (16 KiB): the fifth entry spills to disk.
+        dm.put_pref(server, 5, vec![5u8; 4096], TierPreference::Cxl)
+            .unwrap();
+        assert!(dm.record(server, 5).unwrap().location.is_disk());
+        // Reads are tier-transparent; deleting releases pool capacity
+        // and drops the write-behind shadow.
+        for k in 1..=5u64 {
+            assert_eq!(dm.get(server, k).unwrap(), vec![k as u8; 4096]);
+        }
+        dm.delete(server, 1).unwrap();
+        assert_eq!(pool.used_total(), ByteSize::from_kib(12));
+        assert!(!dm.disk_tier().contains(server.node(), EntryId::new(server, 1)));
+        let stats = dm.stats();
+        assert_eq!(stats.cxl, 3, "stats {stats:?}");
+        assert_eq!(stats.disk, 1);
+        assert!(dm.metrics().counter("cxl.store.ops").get() >= 4);
+    }
+
+    #[test]
+    fn cxl_outage_fails_over_to_the_disk_shadow() {
+        let dm = cxl_system(1, ByteSize::from_kib(64));
+        let server = dm.servers()[0];
+        dm.put_pref(server, 1, vec![6u8; 4096], TierPreference::Cxl)
+            .unwrap();
+        assert!(dm.record(server, 1).unwrap().location.is_cxl());
+        let pool = Arc::clone(dm.cxl_pool().unwrap());
+        pool.set_pool_node_down(0);
+        // The pool is unreachable, but the read degrades to the shadow
+        // copy — correct bytes, checksum-verified, at disk cost.
+        let t0 = dm.clock().now();
+        assert_eq!(dm.get(server, 1).unwrap(), vec![6u8; 4096]);
+        assert!((dm.clock().now() - t0).as_millis_f64() > 3.0, "paid disk");
+        assert_eq!(dm.metrics().counter("cxl.failover.reads").get(), 1);
+        pool.set_pool_node_up(0);
+        let t1 = dm.clock().now();
+        assert_eq!(dm.get(server, 1).unwrap(), vec![6u8; 4096]);
+        assert!(
+            (dm.clock().now() - t1).as_micros_f64() < 100.0,
+            "recovered reads go back to the pool"
+        );
+        // New puts during an outage of the only pool node spill to disk.
+        pool.set_pool_node_down(0);
+        dm.put_pref(server, 2, vec![7u8; 4096], TierPreference::Cxl)
+            .unwrap();
+        assert!(dm.record(server, 2).unwrap().location.is_disk());
+    }
+
+    #[test]
+    fn auto_prefers_cxl_before_nvm_and_remote() {
+        let mut config = ClusterConfig::small();
+        config.server.donation = dmem_types::DonationPolicy::fixed(0.0); // no shared pool
+        config.node.nvm_pool = ByteSize::from_mib(1);
+        config.cxl = dmem_types::CxlPoolConfig::new(2, ByteSize::from_kib(64));
+        let dm = DisaggregatedMemory::new(config).unwrap();
+        let server = dm.servers()[0];
+        let t0 = dm.clock().now();
+        dm.put(server, 1, vec![7u8; 4096]).unwrap();
+        let put_cost = dm.clock().now() - t0;
+        assert!(
+            dm.record(server, 1).unwrap().location.is_cxl(),
+            "cxl outranks nvm and remote in the Auto hierarchy"
+        );
+        assert!(put_cost.as_micros_f64() < 10.0, "cxl put cost {put_cost}");
+        assert_eq!(dm.get(server, 1).unwrap(), vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn cxl_remote_atomics_through_the_pool_handle() {
+        let dm = cxl_system(2, ByteSize::from_kib(8));
+        let pool = dm.cxl_pool().unwrap();
+        let cell = pool.alloc_counter(42).unwrap();
+        assert_eq!(pool.fetch_add(cell, 5).unwrap(), 0);
+        assert_eq!(pool.cas(cell, 5, 11).unwrap(), 5);
+        assert_eq!(pool.counter_value(cell).unwrap(), 11);
+        assert_eq!(pool.counter_ops(cell), 2);
+        assert!(dm.metrics().counter("cxl.atomic.ops").get() == 2);
+    }
+
+    #[test]
+    fn no_cxl_metrics_without_a_pool() {
+        let dm = system();
+        let server = dm.servers()[0];
+        dm.put(server, 1, vec![1u8; 4096]).unwrap();
+        dm.put_pref(server, 2, vec![2u8; 4096], TierPreference::Remote)
+            .unwrap();
+        dm.get(server, 1).unwrap();
+        assert!(dm.cxl_pool().is_none());
+        // An explicit Cxl preference without a pool degrades to disk.
+        dm.put_pref(server, 3, vec![3u8; 512], TierPreference::Cxl)
+            .unwrap();
+        assert!(dm.record(server, 3).unwrap().location.is_disk());
+        let dump = dm.metrics().to_string();
+        assert!(!dump.contains("cxl."), "cxl keys leaked: {dump}");
     }
 
     #[test]

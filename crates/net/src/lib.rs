@@ -46,11 +46,13 @@
 
 pub mod batch;
 pub mod cm;
+pub mod cxl;
 pub mod fabric;
 pub mod faults;
 
 pub use batch::BatchSender;
 pub use cm::{ChannelKind, ConnectionManager};
+pub use cxl::{CxlAddr, CxlCostModel, CxlPool, CxlRing};
 pub use fabric::{Completion, CompletionKind, Fabric, QpHandle, RegionHandle, ShardRouter};
 pub use faults::{
     FabricFault, FabricFaults, FaultProfile, HostOutage, RetryPolicy, ShardFaultSchedule,

@@ -133,6 +133,7 @@ pub struct TenantSnapshot {
 enum FastTier {
     Shared(NodeId),
     Nvm(NodeId),
+    Cxl,
     Remote,
 }
 
@@ -221,6 +222,9 @@ pub enum ResidentTier {
     Shared(NodeId),
     /// NVM tier on `NodeId`.
     Nvm(NodeId),
+    /// The cluster-shared CXL memory pool (no per-node owner: any host
+    /// reaches any pool node through the switch).
+    Cxl,
     /// Cluster remote memory (replicated).
     Remote,
 }
@@ -230,6 +234,7 @@ impl From<ResidentTier> for FastTier {
         match t {
             ResidentTier::Shared(n) => FastTier::Shared(n),
             ResidentTier::Nvm(n) => FastTier::Nvm(n),
+            ResidentTier::Cxl => FastTier::Cxl,
             ResidentTier::Remote => FastTier::Remote,
         }
     }

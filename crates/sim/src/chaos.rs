@@ -62,6 +62,22 @@ pub struct ChaosConfig {
     /// Probability a step breaks every QP of a host pair (fabric faults
     /// only).
     pub qp_break_probability: f64,
+    /// Generate CXL pool-tier steps — pool-node outage windows with
+    /// matched recoveries plus remote-atomic counter ops — from an
+    /// independent RNG fork. Off by default, so schedules without it are
+    /// byte-identical to pre-CXL builds.
+    pub cxl: bool,
+    /// Probability a step opens a pool-node outage window (CXL only; at
+    /// most one pool node is down at a time).
+    pub cxl_outage_probability: f64,
+    /// Probability a step performs a remote atomic fetch-add on one of
+    /// the shared counter slots (CXL only).
+    pub cxl_atomic_probability: f64,
+    /// Pool nodes of the CXL tier the harness configures (CXL only).
+    pub cxl_pool_nodes: u16,
+    /// Shared remote-atomic counter slots the schedule hammers (CXL
+    /// only).
+    pub cxl_atomic_slots: usize,
 }
 
 impl Default for ChaosConfig {
@@ -81,6 +97,11 @@ impl Default for ChaosConfig {
             fabric_faults: false,
             partition_probability: 0.05,
             qp_break_probability: 0.05,
+            cxl: false,
+            cxl_outage_probability: 0.05,
+            cxl_atomic_probability: 0.10,
+            cxl_pool_nodes: 2,
+            cxl_atomic_slots: 3,
         }
     }
 }
@@ -162,6 +183,24 @@ pub enum ChaosStep {
         /// The other endpoint.
         b: NodeId,
     },
+    /// Mark a CXL pool node unreachable: loads, stores, allocations, and
+    /// atomics against it fail until the matching [`ChaosStep::CxlPoolUp`].
+    CxlPoolDown {
+        /// The pool node entering its outage window.
+        pool_node: u16,
+    },
+    /// Recover a CXL pool node; its data survived the outage intact.
+    CxlPoolUp {
+        /// The pool node coming back.
+        pool_node: u16,
+    },
+    /// Remote atomic fetch-add of `delta` on shared counter slot `slot`.
+    CxlAtomic {
+        /// Which shared counter cell to hit.
+        slot: usize,
+        /// Increment to apply.
+        delta: u64,
+    },
 }
 
 impl fmt::Display for ChaosStep {
@@ -178,6 +217,11 @@ impl fmt::Display for ChaosStep {
             ChaosStep::PartitionPair { a, b } => write!(f, "partition {a}<->{b}"),
             ChaosStep::HealPair { a, b } => write!(f, "heal {a}<->{b}"),
             ChaosStep::BreakQps { a, b } => write!(f, "break-qps {a}<->{b}"),
+            ChaosStep::CxlPoolDown { pool_node } => write!(f, "cxl-down pool-{pool_node}"),
+            ChaosStep::CxlPoolUp { pool_node } => write!(f, "cxl-up pool-{pool_node}"),
+            ChaosStep::CxlAtomic { slot, delta } => {
+                write!(f, "cxl-atomic slot={slot} delta={delta}")
+            }
         }
     }
 }
@@ -212,6 +256,8 @@ impl ChaosSchedule {
         // Fabric faults draw from their own fork so enabling them leaves
         // the ops/failure streams — and thus the base schedule — intact.
         let mut netfaults = config.fabric_faults.then(|| root.fork("chaos.netfaults"));
+        // The CXL stream is gated the same way for the same reason.
+        let mut cxlrng = config.cxl.then(|| root.fork("chaos.cxl"));
         let servers = config.servers();
         let nodes: Vec<NodeId> = (0..config.nodes as u32).map(NodeId::new).collect();
 
@@ -224,6 +270,9 @@ impl ChaosSchedule {
         // base-step index -> partition heals due before that step runs.
         let mut pending_heals: BTreeMap<usize, Vec<(NodeId, NodeId)>> = BTreeMap::new();
         let mut partitioned: HashSet<(NodeId, NodeId)> = HashSet::new();
+        // base-step index -> pool-node recoveries due before that step.
+        let mut pending_pool_ups: BTreeMap<usize, Vec<u16>> = BTreeMap::new();
+        let mut cxl_down: HashSet<u16> = HashSet::new();
 
         for index in 0..config.steps {
             if let Some(nf) = netfaults.as_mut() {
@@ -254,6 +303,33 @@ impl ChaosSchedule {
                     if a != b {
                         steps.push(ChaosStep::BreakQps { a, b });
                     }
+                }
+            }
+
+            if let Some(cx) = cxlrng.as_mut() {
+                for pool_node in pending_pool_ups.remove(&index).unwrap_or_default() {
+                    cxl_down.remove(&pool_node);
+                    steps.push(ChaosStep::CxlPoolUp { pool_node });
+                }
+                let roll = cx.unit();
+                if roll < config.cxl_outage_probability {
+                    let pool_node = cx.below(config.cxl_pool_nodes.max(1) as usize) as u16;
+                    // One outage window at a time: the write-behind shadow
+                    // covers a single pool-node loss; concurrent losses are
+                    // a capacity story, not a correctness one.
+                    if cxl_down.is_empty() && cxl_down.insert(pool_node) {
+                        let due = index
+                            + config.min_recovery_steps
+                            + cx.below(
+                                config.max_recovery_steps - config.min_recovery_steps + 1,
+                            );
+                        pending_pool_ups.entry(due).or_default().push(pool_node);
+                        steps.push(ChaosStep::CxlPoolDown { pool_node });
+                    }
+                } else if roll < config.cxl_outage_probability + config.cxl_atomic_probability {
+                    let slot = cx.below(config.cxl_atomic_slots.max(1));
+                    let delta = 1 + cx.below(9) as u64;
+                    steps.push(ChaosStep::CxlAtomic { slot, delta });
                 }
             }
 
@@ -354,6 +430,11 @@ impl ChaosSchedule {
         for (_, pairs) in pending_heals {
             for (a, b) in pairs {
                 steps.push(ChaosStep::HealPair { a, b });
+            }
+        }
+        for (_, pool_nodes) in pending_pool_ups {
+            for pool_node in pool_nodes {
+                steps.push(ChaosStep::CxlPoolUp { pool_node });
             }
         }
         steps.push(ChaosStep::Maintain {
@@ -544,6 +625,102 @@ mod tests {
                 }
             }
             assert_eq!(open, 0, "seed {seed}: unhealed partition at end");
+        }
+    }
+
+    #[test]
+    fn cxl_off_leaves_schedules_byte_identical() {
+        // Like the fabric flag: disabling the CXL stream must reproduce
+        // the exact schedules pre-CXL builds generated, no matter how the
+        // CXL knobs are set.
+        let plain = ChaosConfig::default();
+        let off = ChaosConfig {
+            cxl: false,
+            cxl_outage_probability: 0.9,
+            cxl_atomic_probability: 0.9,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..16 {
+            assert_eq!(
+                ChaosSchedule::generate(seed, &plain),
+                ChaosSchedule::generate(seed, &off)
+            );
+        }
+    }
+
+    #[test]
+    fn cxl_adds_steps_without_touching_the_base_schedule() {
+        let plain = ChaosConfig::default();
+        let with = ChaosConfig {
+            cxl: true,
+            ..ChaosConfig::default()
+        };
+        let mut outages = 0usize;
+        let mut atomics = 0usize;
+        for seed in 0..16 {
+            let a = ChaosSchedule::generate(seed, &plain);
+            let b = ChaosSchedule::generate(seed, &with);
+            let strip: Vec<&ChaosStep> = b
+                .steps
+                .iter()
+                .filter(|s| {
+                    !matches!(
+                        s,
+                        ChaosStep::CxlPoolDown { .. }
+                            | ChaosStep::CxlPoolUp { .. }
+                            | ChaosStep::CxlAtomic { .. }
+                    )
+                })
+                .collect();
+            let base: Vec<&ChaosStep> = a.steps.iter().collect();
+            assert_eq!(strip, base, "seed {seed}: base schedule perturbed");
+            for step in &b.steps {
+                match step {
+                    ChaosStep::CxlPoolDown { pool_node } => {
+                        assert!(*pool_node < with.cxl_pool_nodes, "seed {seed}");
+                        outages += 1;
+                    }
+                    ChaosStep::CxlAtomic { slot, delta } => {
+                        assert!(*slot < with.cxl_atomic_slots, "seed {seed}");
+                        assert!(*delta > 0, "seed {seed}: zero-delta atomic is vacuous");
+                        atomics += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(outages > 0, "pool outages must actually fire");
+        assert!(atomics > 0, "remote atomics must actually fire");
+    }
+
+    #[test]
+    fn every_pool_outage_recovers_and_one_is_down_at_a_time() {
+        let cfg = ChaosConfig {
+            cxl: true,
+            cxl_outage_probability: 0.3,
+            steps: 300,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..8 {
+            let schedule = ChaosSchedule::generate(seed, &cfg);
+            let mut open = 0usize;
+            for (i, step) in schedule.steps.iter().enumerate() {
+                match step {
+                    ChaosStep::CxlPoolDown { pool_node } => {
+                        open += 1;
+                        assert_eq!(open, 1, "seed {seed}: overlapping pool outages");
+                        assert!(
+                            schedule.steps[i + 1..]
+                                .iter()
+                                .any(|s| *s == ChaosStep::CxlPoolUp { pool_node: *pool_node }),
+                            "seed {seed}: pool outage at step {i} never recovers"
+                        );
+                    }
+                    ChaosStep::CxlPoolUp { .. } => open -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(open, 0, "seed {seed}: pool node still down at end");
         }
     }
 

@@ -97,6 +97,12 @@ pub struct CostModel {
     pub shared_memory: DeviceCost,
     /// One RDMA RC verb on the 56 Gbps InfiniBand fabric.
     pub rdma: DeviceCost,
+    /// One load/store window against a CXL memory-pool node: hundreds of
+    /// nanoseconds to the first cacheline (CXL.mem request/response across
+    /// one switch hop), then cacheline-granular streaming. No verb, queue
+    /// pair, or retry machinery — failures surface as machine checks, not
+    /// timeouts. The tier both surveys name as RDMA's successor.
+    pub cxl: DeviceCost,
     /// Local byte-addressable NVM (PCM / 3D XPoint class): the §VI
     /// emerging-memory tier, used by the NVM extension.
     pub nvm: DeviceCost,
@@ -120,6 +126,11 @@ impl CostModel {
             shared_memory: DeviceCost::new_us_gbps(0.35, 9.8),
             // 56 Gbps IB: ~1.8 us one-sided verb, ~5 GB/s effective.
             rdma: DeviceCost::new_us_gbps(1.8, 5.0),
+            // Pooled CXL memory one switch hop away: ~250 ns to the first
+            // cacheline, ~3.2 GB/s sustained (64 B line / ~20 ns) — far
+            // below the verb floor for small accesses, but behind RDMA's
+            // streaming bandwidth for bulk transfers.
+            cxl: DeviceCost::new_us_gbps(0.25, 3.2),
             // 3D XPoint class: ~350 ns access, ~2 GB/s sustained.
             nvm: DeviceCost::new_us_gbps(0.35, 2.0),
             // NVMe-class SSD.
@@ -133,10 +144,11 @@ impl CostModel {
     }
 
     /// Cost of a 4 KiB page on each tier, useful for sanity checks.
-    pub fn page_costs(&self) -> [(&'static str, SimDuration); 6] {
+    pub fn page_costs(&self) -> [(&'static str, SimDuration); 7] {
         [
             ("dram", self.dram.transfer(4096)),
             ("shared", self.shared_memory.transfer(4096)),
+            ("cxl", self.cxl.transfer(4096)),
             ("nvm", self.nvm.transfer(4096)),
             ("rdma", self.rdma.transfer(4096)),
             ("ssd", self.ssd.transfer(4096)),
@@ -161,10 +173,22 @@ mod tests {
         let m = CostModel::paper_default();
         let p = 4096;
         assert!(m.dram.transfer(p) < m.shared_memory.transfer(p));
-        assert!(m.shared_memory.transfer(p) < m.nvm.transfer(p));
+        assert!(m.shared_memory.transfer(p) < m.cxl.transfer(p));
+        assert!(m.cxl.transfer(p) < m.nvm.transfer(p));
         assert!(m.nvm.transfer(p) < m.rdma.transfer(p));
         assert!(m.rdma.transfer(p) < m.ssd.transfer(p));
         assert!(m.ssd.transfer(p) < m.hdd.transfer(p));
+    }
+
+    #[test]
+    fn cxl_crossover_shape() {
+        // The crossover the ext_crossover figure measures: CXL wins small
+        // cacheline-granular accesses on latency, RDMA wins bulk transfers
+        // on bandwidth.
+        let m = CostModel::paper_default();
+        assert!(m.cxl.transfer(64) * 5 < m.rdma.transfer(64));
+        assert!(m.cxl.transfer(64).as_nanos() < 1_000, "hundreds of ns, not us");
+        assert!(m.rdma.transfer(64 * 1024) < m.cxl.transfer(64 * 1024));
     }
 
     #[test]

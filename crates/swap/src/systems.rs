@@ -192,6 +192,7 @@ fn fastswap_cluster(
         replication: dmem_types::ReplicationFactor::TRIPLE,
         placement: dmem_types::PlacementStrategy::PowerOfTwoChoices,
         compression,
+        cxl: dmem_types::CxlPoolConfig::DISABLED,
         seed: scale.seed,
     };
     Ok(Arc::new(DisaggregatedMemory::new(config)?))

@@ -377,6 +377,76 @@ impl Default for NodeConfig {
     }
 }
 
+/// Configuration of the CXL pooled-memory tier (ROADMAP item 4): a rack
+/// of memory-pool nodes reachable by load/store through a CXL switch,
+/// addressed PGAS-style and placed by consistent hashing.
+///
+/// Zero pool nodes (the default) disables the tier entirely: no pool is
+/// constructed, no `cxl.*` metric keys exist, and every pre-CXL run is
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CxlPoolConfig {
+    /// Memory-pool nodes behind the switch; zero disables the tier.
+    pub pool_nodes: usize,
+    /// Usable capacity per pool node.
+    pub capacity_per_node: ByteSize,
+}
+
+impl CxlPoolConfig {
+    /// The disabled tier: no pool nodes.
+    pub const DISABLED: CxlPoolConfig = CxlPoolConfig {
+        pool_nodes: 0,
+        capacity_per_node: ByteSize::ZERO,
+    };
+
+    /// Creates a pool of `pool_nodes` nodes with `capacity_per_node` each.
+    pub const fn new(pool_nodes: usize, capacity_per_node: ByteSize) -> Self {
+        CxlPoolConfig {
+            pool_nodes,
+            capacity_per_node,
+        }
+    }
+
+    /// `true` when the tier is configured.
+    pub const fn enabled(&self) -> bool {
+        self.pool_nodes > 0
+    }
+
+    /// Total pool capacity across all nodes.
+    pub fn total(&self) -> ByteSize {
+        self.capacity_per_node * self.pool_nodes as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmemError::InvalidConfig`] when pool nodes exist but have
+    /// zero capacity, or the node count exceeds the 16-bit PGAS node field.
+    pub fn validate(&self) -> DmemResult<()> {
+        if self.pool_nodes > 0 && self.capacity_per_node.is_zero() {
+            return Err(DmemError::InvalidConfig {
+                reason: "cxl pool nodes must have nonzero capacity".into(),
+            });
+        }
+        if self.pool_nodes > u16::MAX as usize {
+            return Err(DmemError::InvalidConfig {
+                reason: format!(
+                    "cxl pool node count {} exceeds the 16-bit global-address field",
+                    self.pool_nodes
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CxlPoolConfig {
+    fn default() -> Self {
+        CxlPoolConfig::DISABLED
+    }
+}
+
 /// Whole-cluster configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
@@ -397,6 +467,8 @@ pub struct ClusterConfig {
     pub placement: PlacementStrategy,
     /// Page compression mode.
     pub compression: CompressionMode,
+    /// CXL pooled-memory tier (disabled by default).
+    pub cxl: CxlPoolConfig,
     /// Deterministic seed for all randomized choices.
     pub seed: u64,
 }
@@ -414,6 +486,7 @@ impl ClusterConfig {
             replication: ReplicationFactor::TRIPLE,
             placement: PlacementStrategy::PowerOfTwoChoices,
             compression: CompressionMode::FourGranularity,
+            cxl: CxlPoolConfig::DISABLED,
             seed: 0x00D1_5A66,
         }
     }
@@ -429,6 +502,7 @@ impl ClusterConfig {
             replication: ReplicationFactor::TRIPLE,
             placement: PlacementStrategy::PowerOfTwoChoices,
             compression: CompressionMode::FourGranularity,
+            cxl: CxlPoolConfig::DISABLED,
             seed: 0x00D1_5A66,
         }
     }
@@ -467,6 +541,7 @@ impl ClusterConfig {
         }
         self.node.validate()?;
         self.server.validate()?;
+        self.cxl.validate()?;
         let allocated = self.server.memory * self.servers_per_node as u64;
         if allocated + self.node.send_pool + self.node.recv_pool > self.node.dram {
             return Err(DmemError::InvalidConfig {
@@ -563,6 +638,24 @@ mod tests {
             1,
             "degenerate window clamps to demand paging"
         );
+    }
+
+    #[test]
+    fn cxl_pool_config_validates() {
+        assert!(!CxlPoolConfig::DISABLED.enabled());
+        assert!(CxlPoolConfig::DISABLED.validate().is_ok());
+        let pool = CxlPoolConfig::new(4, ByteSize::from_kib(256));
+        assert!(pool.enabled());
+        assert_eq!(pool.total(), ByteSize::from_mib(1));
+        assert!(pool.validate().is_ok());
+        assert!(CxlPoolConfig::new(2, ByteSize::ZERO).validate().is_err());
+        assert!(
+            CxlPoolConfig::new(1 << 17, ByteSize::from_kib(4)).validate().is_err(),
+            "node count must fit the 16-bit PGAS field"
+        );
+        let mut cfg = ClusterConfig::small();
+        cfg.cxl = pool;
+        cfg.validate().unwrap();
     }
 
     #[test]

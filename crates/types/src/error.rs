@@ -73,6 +73,13 @@ pub enum DmemError {
         /// The unsupported operation.
         op: String,
     },
+    /// A CXL pool node is in an outage window: loads, stores and remote
+    /// atomics against it fail until the node recovers (reads fail over
+    /// to the entry's shadow copy; atomics have no failover target).
+    CxlPoolNodeDown {
+        /// Index of the unreachable pool node.
+        pool_node: u16,
+    },
 }
 
 impl fmt::Display for DmemError {
@@ -104,6 +111,9 @@ impl fmt::Display for DmemError {
             DmemError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             DmemError::NoLeader => write!(f, "no eligible group leader"),
             DmemError::Unsupported { op } => write!(f, "operation not supported: {op}"),
+            DmemError::CxlPoolNodeDown { pool_node } => {
+                write!(f, "cxl pool node {pool_node} unreachable")
+            }
         }
     }
 }
@@ -152,6 +162,7 @@ mod tests {
             },
             DmemError::NoLeader,
             DmemError::Unsupported { op: "batch".into() },
+            DmemError::CxlPoolNodeDown { pool_node: 2 },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -30,8 +30,8 @@ mod location;
 pub use bytesize::ByteSize;
 pub use checksum::checksum;
 pub use config::{
-    ClusterConfig, CompressionMode, DistributionRatio, DonationPolicy, NodeConfig,
-    PlacementStrategy, ReplicationFactor, ServerConfig, SwapInMode,
+    ClusterConfig, CompressionMode, CxlPoolConfig, DistributionRatio, DonationPolicy,
+    NodeConfig, PlacementStrategy, ReplicationFactor, ServerConfig, SwapInMode,
 };
 pub use error::{DmemError, DmemResult};
 pub use ids::{EntryId, GroupId, MrId, NodeId, PageId, QpId, ServerId, SlabId, TenantId};

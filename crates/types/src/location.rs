@@ -91,6 +91,14 @@ pub enum EntryLocation {
         /// Nodes holding a replica; the first is the primary.
         replicas: Vec<NodeId>,
     },
+    /// In the CXL pooled-memory tier, at a PGAS global address (raw
+    /// `{pool_node, offset}` codec owned by `dmem-net`). A write-through
+    /// shadow copy lives on the owner's disk tier so pool-node loss
+    /// degrades to disk instead of losing the entry.
+    Cxl {
+        /// Raw 64-bit PGAS global address.
+        addr: u64,
+    },
     /// Spilled to the local external storage tier (disk), the last resort.
     Disk,
 }
@@ -109,6 +117,11 @@ impl EntryLocation {
     /// `true` if the entry lives in local NVM.
     pub fn is_nvm(&self) -> bool {
         matches!(self, EntryLocation::Nvm)
+    }
+
+    /// `true` if the entry lives in the CXL pooled-memory tier.
+    pub fn is_cxl(&self) -> bool {
+        matches!(self, EntryLocation::Cxl { .. })
     }
 
     /// `true` if the entry was spilled to disk.
@@ -134,6 +147,7 @@ impl fmt::Display for EntryLocation {
                 write!(f, ")")
             }
             EntryLocation::Nvm => write!(f, "nvm"),
+            EntryLocation::Cxl { addr } => write!(f, "cxl({addr:#x})"),
             EntryLocation::Disk => write!(f, "disk"),
         }
     }
@@ -217,6 +231,8 @@ mod tests {
         };
         assert_eq!(remote.to_string(), "remote(node-1,node-2)");
         assert_eq!(EntryLocation::Disk.to_string(), "disk");
+        assert_eq!(EntryLocation::Cxl { addr: 0x10 }.to_string(), "cxl(0x10)");
+        assert!(EntryLocation::Cxl { addr: 0 }.is_cxl());
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 
 fn usage() -> String {
     "usage: chaos [--seed N | --seeds A..B] [--steps N] [--keys N] [--nodes N] [--jobs N] \
-     [--qos] [--faults] [--shards N] [--flight-fixture]"
+     [--qos] [--faults] [--cxl] [--shards N] [--flight-fixture]"
         .to_string()
 }
 
@@ -96,6 +96,7 @@ fn run() -> Result<bool, String> {
     let mut jobs = scoped_pool::available_parallelism();
     let mut qos = false;
     let mut faults = false;
+    let mut cxl = false;
     let mut shards = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -104,6 +105,7 @@ fn run() -> Result<bool, String> {
             "--seed" => seeds.push(parse_u64(&value("--seed")?)?),
             "--qos" => qos = true,
             "--faults" => faults = true,
+            "--cxl" => cxl = true,
             "--flight-fixture" => return Ok(run_flight_fixture()),
             "--jobs" => {
                 jobs = parse_u64(&value("--jobs")?)?.max(1) as usize;
@@ -139,11 +141,15 @@ fn run() -> Result<bool, String> {
     // together: schedules gain partition/heal/QP-break steps, and the
     // fabric gains seeded verb drops/delays/duplication with retry.
     config.fabric_faults = faults;
+    // Same pairing for the CXL tier: schedules gain pool-node outage
+    // windows and remote atomics, the cluster gains the pool itself.
+    config.cxl = cxl;
 
     let settings = ChaosSettings {
         qos,
         faults,
         shards,
+        cxl,
         ..ChaosSettings::default()
     };
     let total = seeds.len();
